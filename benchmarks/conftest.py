@@ -1,0 +1,37 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables inside the simulated
+substrate, prints it next to the paper's reference values, and asserts the
+*shape* properties the reproduction targets (who wins, by what factor,
+where crossovers fall).
+
+Environment knobs:
+  REPRO_FULL=1       include the 1,024/2,048-process configurations
+                     (several wall-clock minutes per run)
+  REPRO_MAX_PROCS=N  cap Table 1/2 process counts (default 128 here,
+                     256 via `python -m repro.experiments`)
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+MAX_PROCS = int(os.environ.get("REPRO_MAX_PROCS",
+                               "2048" if FULL else "128"))
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def max_procs() -> int:
+    return MAX_PROCS
+
+
+def run_once(benchmark, fn):
+    """Run a whole-table experiment exactly once under pytest-benchmark
+    (each 'iteration' is a full simulated campaign)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

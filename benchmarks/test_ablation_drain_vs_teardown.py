@@ -1,0 +1,38 @@
+"""Ablation: the paper's headline design choice — drain-and-refill the
+completion queues (DMTCP plugin) vs tear-down-and-reconnect the whole
+network (BLCR-style CRS).  Same workload, same cluster, same instant:
+compare the application-visible checkpoint pause."""
+
+from conftest import run_once
+
+from repro.apps.nas import lu_app
+from repro.experiments.runner import run_nas
+from repro.hardware import BUFFALO_CCR
+
+
+def test_ablation_drain_vs_teardown(benchmark):
+    def campaign():
+        out = {}
+        for nprocs in (8, 16, 32):
+            kwargs = {"klass": "C", "iters_sim": 8}
+            dmtcp = run_nas(lu_app, BUFFALO_CCR, nprocs, ppn=1,
+                            under="dmtcp", app_kwargs=kwargs,
+                            checkpoint_after=1.0)
+            blcr = run_nas(lu_app, BUFFALO_CCR, nprocs, ppn=1,
+                           under="blcr", app_kwargs=kwargs,
+                           checkpoint_after=1.0)
+            assert dmtcp.checksum == blcr.checksum
+            out[nprocs] = (dmtcp.ckpt_seconds, blcr.ckpt_seconds)
+        return out
+
+    out = run_once(benchmark, campaign)
+    print()
+    print(f"{'procs':>6}  {'drain+refill(s)':>16}  {'teardown(s)':>12}")
+    for nprocs, (drain, teardown) in out.items():
+        print(f"{nprocs:6d}  {drain:16.2f}  {teardown:12.2f}")
+        # drain-and-refill always beats the full teardown
+        assert drain < teardown
+    # and the gap WIDENS with scale: drain times fall (smaller per-node
+    # images) while teardown's central copy grows
+    gaps = [teardown / drain for drain, teardown in out.values()]
+    assert gaps[-1] > gaps[0]

@@ -1,0 +1,58 @@
+"""Ablation: eager vs rendezvous for small MPI messages.
+
+The eager path puts small payloads inline in the envelope (1 message);
+rendezvous needs RTS → CTS → RDMA → FIN (4).  Forcing small sends through
+rendezvous should visibly slow a latency-bound exchange."""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.dmtcp import native_launch
+from repro.hardware import BUFFALO_CCR, Cluster
+from repro.mpi import make_mpi_specs
+from repro.mpi.api import Communicator
+from repro.sim import Environment
+
+ROUNDS = 300
+
+
+def _latency_run(eager_bytes: int) -> float:
+    original = Communicator.EAGER_INLINE_BYTES
+    Communicator.EAGER_INLINE_BYTES = eager_bytes
+    try:
+        env = Environment()
+        cluster = Cluster(env, BUFFALO_CCR, n_nodes=2,
+                          name=f"eager{eager_bytes}")
+
+        def app(ctx, comm):
+            region = ctx.memory.mmap(f"{ctx.name}.b", 64)
+            t0 = ctx.env.now
+            for i in range(ROUNDS):
+                if comm.rank == 0:
+                    yield from comm.Send(region, 0, 8, dest=1, tag=i)
+                    yield from comm.Recv(region, 0, 8, source=1, tag=i)
+                else:
+                    yield from comm.Recv(region, 0, 8, source=0, tag=i)
+                    yield from comm.Send(region, 0, 8, dest=0, tag=i)
+            return (ctx.env.now - t0) / ROUNDS
+
+        specs = make_mpi_specs(cluster, 2, app, ppn=1)
+        session = native_launch(cluster, specs)
+        results = env.run(until=env.process(session.wait()))
+        return max(results)
+    finally:
+        Communicator.EAGER_INLINE_BYTES = original
+
+
+def test_ablation_eager_vs_rendezvous(benchmark):
+    def campaign():
+        return {"eager": _latency_run(256), "rendezvous": _latency_run(0)}
+
+    out = run_once(benchmark, campaign)
+    print()
+    print(f"8-byte round trip: eager {out['eager'] * 1e6:.1f}us vs "
+          f"rendezvous {out['rendezvous'] * 1e6:.1f}us "
+          f"({out['rendezvous'] / out['eager']:.2f}x)")
+    # the 4-message rendezvous handshake costs real latency
+    assert out["rendezvous"] > 1.5 * out["eager"]

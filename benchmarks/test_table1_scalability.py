@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 1 (LU scalability, native vs DMTCP)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_scalability(benchmark, max_procs):
+    table = run_once(benchmark, lambda: table1.run(max_procs=max_procs))
+    print()
+    print(table.format())
+
+    by = {(r[0], r[1]): r for r in table.rows}
+    for (bench, procs), row in by.items():
+        native, dmtcp, p_native, p_dmtcp = row[2], row[3], row[4], row[5]
+        # DMTCP always costs something, but modestly (the paper's overhead
+        # at these scales is 3-5 seconds of startup + ~1% slope)
+        assert dmtcp > native
+        assert dmtcp - native < 0.25 * native + 20.0
+        # absolute native runtimes land near the paper's (calibrated)
+        assert 0.5 * p_native < native < 2.0 * p_native
+
+    # strong scaling: doubling ranks within a class shortens the runtime
+    for klass in ("C", "D"):
+        series = [(procs, row[2]) for (bench, procs), row in by.items()
+                  if bench == f"LU.{klass}"]
+        series.sort()
+        for (n1, t1), (n2, t2) in zip(series, series[1:]):
+            assert t2 < t1, f"LU.{klass} did not scale {n1}->{n2}"

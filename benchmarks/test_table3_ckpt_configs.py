@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 3 (checkpoint time ∝ per-node image bytes)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_ckpt_configs(benchmark, full_mode):
+    table = run_once(benchmark, lambda: table3.run(full=full_mode))
+    print()
+    print(table.format())
+
+    rows = {r[0]: r for r in table.rows}
+    # per-process image size is constant while nprocs stays 512 (paper:
+    # 350/356/355 MB), and matches the paper's magnitude
+    sizes = [rows[c][3] for c in ("128x4", "64x8", "32x16")]
+    assert max(sizes) - min(sizes) < 0.05 * max(sizes)
+    assert 0.7 * 355 < sizes[0] < 1.3 * 355
+    # checkpoint time is proportional to the bytes landing on one node:
+    # doubling processes-per-node doubles the time
+    t4, t8, t16 = (rows[c][2] for c in ("128x4", "64x8", "32x16"))
+    assert 1.6 < t8 / t4 < 2.4
+    assert 1.6 < t16 / t8 < 2.4
+    # effective write throughput is the paper's 20-27 MB/s disk
+    mb_per_node = sizes[2] * 16
+    assert 18.0 < mb_per_node / t16 < 30.0
+    if full_mode and "128x16" in rows:
+        # 2048 procs: smaller images, so the 16-per-node time *drops*
+        assert rows["128x16"][2] < t16 / 2
+        assert 0.7 * 117 < rows["128x16"][3] < 1.3 * 117

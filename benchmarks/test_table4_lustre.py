@@ -1,0 +1,26 @@
+"""Bench: regenerate Table 4 (local disk vs Lustre back-end)."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_lustre(benchmark):
+    table = run_once(benchmark, table4.run)
+    print()
+    print(table.format())
+
+    local = table.row_dict(0)
+    lustre = table.row_dict(1)
+    # the headline factor: Lustre checkpoints ~6.5x faster
+    ratio = local["ckpt(s)"] / lustre["ckpt(s)"]
+    assert 5.0 < ratio < 8.0, f"Lustre speedup {ratio:.1f}x off the paper's 6.5x"
+    # image sizes identical across back-ends, near the paper's 356-365 MB
+    assert abs(local["img(MB)"] - lustre["img(MB)"]) < 5
+    assert 0.7 * 356 < local["img(MB)"] < 1.3 * 356
+    # restart times essentially unchanged between back-ends
+    assert abs(local["restart(s)"] - lustre["restart(s)"]) \
+        < 0.3 * local["restart(s)"]
+    # absolute checkpoint times near the paper's 232 / 35.7 seconds
+    assert 0.6 * 232 < local["ckpt(s)"] < 1.5 * 232
+    assert 0.6 * 35.7 < lustre["ckpt(s)"] < 1.5 * 35.7

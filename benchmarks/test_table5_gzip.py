@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 5 (gzip on/off: ~same size, gzip ~4% slower)."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5_gzip(benchmark, full_mode):
+    table = run_once(benchmark, lambda: table5.run(full=full_mode))
+    print()
+    print(table.format())
+
+    with_gz = table.row_dict(0)
+    without = table.row_dict(1)
+    # gzip saves almost nothing on numerical data (paper: ~1%)
+    saving = 1 - with_gz["img/proc(MB)"] / without["img/proc(MB)"]
+    assert 0.0 <= saving < 0.05
+    # and costs a little time (paper: ~4%; "about 5% faster without gzip")
+    delta = with_gz["ckpt(s)"] / without["ckpt(s)"] - 1
+    assert 0.0 < delta < 0.10
+    # restart times barely differ
+    assert abs(with_gz["restart(s)"] / without["restart(s)"] - 1) < 0.10

@@ -1,0 +1,40 @@
+"""Bench: regenerate Table 6 (DMTCP vs the BLCR-based Open MPI CRS)."""
+
+from conftest import run_once
+
+from repro.experiments import table6
+
+
+def test_table6_dmtcp_vs_blcr(benchmark, full_mode):
+    benches = ("LU.C", "EP.D", "BT.C", "SP.C") if full_mode \
+        else ("LU.C", "EP.D")
+    table = run_once(benchmark, lambda: table6.run(benches=benches))
+    print()
+    print(table.format())
+
+    rows = {(r[0], r[1]): table.row_dict(i)
+            for i, r in enumerate(table.rows)}
+    for key, row in rows.items():
+        # neither checkpointer has significant runtime overhead
+        assert row["w/DMTCP"] < 1.25 * row["native"] + 10
+        assert row["w/BLCR"] < 1.25 * row["native"] + 10
+        # DMTCP checkpoints beat BLCR's everywhere (the headline claim)
+        assert row["DMTCP-ckpt"] < row["BLCR-ckpt"]
+        # DMTCP restarts are seconds, not minutes
+        assert row["DMTCP-restart"] < 30
+
+    for bench in benches:
+        series = sorted((n, rows[(bench, n)]) for (b, n) in rows
+                        if b == bench)
+        if len(series) < 2:
+            continue
+        first, last = series[0][1], series[-1][1]
+        if bench != "EP.D":
+            # DMTCP checkpoint time FALLS with more nodes (smaller images,
+            # node-local writes)
+            assert last["DMTCP-ckpt"] < first["DMTCP-ckpt"]
+        # BLCR checkpoint time grows (or stays flat) with more nodes —
+        # the serialized FileM copy to the central node
+        assert last["BLCR-ckpt"] > 0.8 * first["BLCR-ckpt"]
+        if bench == "EP.D":
+            assert last["BLCR-ckpt"] > 2 * first["BLCR-ckpt"]

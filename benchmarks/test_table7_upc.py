@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 7 (UPC FT.B — checkpointing without MPI)."""
+
+from conftest import run_once
+
+from repro.experiments import table7
+
+
+def test_table7_upc(benchmark):
+    table = run_once(benchmark, table7.run)
+    print()
+    print(table.format())
+
+    rows = {r[0]: table.row_dict(i) for i, r in enumerate(table.rows)}
+    for threads, row in rows.items():
+        # small DMTCP overhead (paper: 4% at 4 threads down to <1%)
+        overhead = row["w/DMTCP"] / row["native"] - 1
+        assert 0.0 <= overhead < 0.15
+        # runtimes land near the paper's
+        assert 0.5 * row["p-native"] < row["native"] < 2.0 * row["p-native"]
+        # checkpoint times near the paper's (image ~ UPC shared segment)
+        assert 0.5 * row["p-ckpt"] < row["ckpt(s)"] < 2.0 * row["p-ckpt"]
+    # strong scaling of both runtime and checkpoint size/time
+    assert rows[16]["native"] < rows[8]["native"] < rows[4]["native"]
+    assert rows[16]["ckpt(s)"] < rows[4]["ckpt(s)"]

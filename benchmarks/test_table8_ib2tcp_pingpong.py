@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 8 (IB2TCP ping-pong across four environments)."""
+
+from conftest import run_once
+
+from repro.experiments import table8
+
+
+def test_table8_ib2tcp_pingpong(benchmark, full_mode):
+    iters = 10_000 if full_mode else 2_000
+    table = run_once(benchmark, lambda: table8.run(iters=iters))
+    print()
+    print(table.format())
+
+    rows = {r[0]: table.row_dict(i) for i, r in enumerate(table.rows)}
+    t_ib = rows["IB (w/o DMTCP)"]["time(s)"]
+    t_dmtcp = rows["DMTCP/IB (w/o IB2TCP)"]["time(s)"]
+    t_ib2tcp = rows["DMTCP/IB2TCP/IB"]["time(s)"]
+    t_eth = rows["DMTCP/IB2TCP/Ethernet"]["time(s)"]
+
+    # strict ordering of the four environments (the paper's shape)
+    assert t_ib < t_dmtcp < t_ib2tcp < t_eth
+    # DMTCP interposition costs tens of percent on this worst case
+    assert 1.05 < t_dmtcp / t_ib < 2.5          # paper: 1.33x
+    # the IB2TCP in-memory copy adds more
+    assert 1.02 < t_ib2tcp / t_dmtcp < 2.0      # paper: 1.17x
+    # Ethernet after migration is catastrophic (paper: ~47x vs DMTCP/IB2TCP)
+    assert t_eth / t_ib2tcp > 20
+    # absolute numbers near the paper's
+    assert 0.4 < t_ib < 2.0                     # paper: 0.9
+    assert 40 < t_eth < 110                     # paper: 65.7

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 9 (LU.A.2 runtime across the migration)."""
+
+from conftest import run_once
+
+from repro.experiments import table9
+
+
+def test_table9_ib2tcp_lu(benchmark):
+    table = run_once(benchmark, table9.run)
+    print()
+    print(table.format())
+
+    rows = {r[0]: table.row_dict(i) for i, r in enumerate(table.rows)}
+    base = rows["IB (w/o DMTCP)"]["runtime(s)"]
+    dmtcp = rows["DMTCP/IB (w/o IB2TCP)"]["runtime(s)"]
+    ib2tcp = rows["DMTCP/IB2TCP/IB"]["runtime(s)"]
+    eth2 = rows["DMTCP/IB2TCP/Ethernet (2 nodes)"]["runtime(s)"]
+    eth1 = rows["DMTCP/IB2TCP/Ethernet (1 node)"]["runtime(s)"]
+
+    # the plugins are nearly free while still on InfiniBand
+    assert dmtcp < 1.10 * base
+    assert ib2tcp < 1.10 * base
+    # Ethernet after migration costs a lot (paper: +67%), one node more
+    # still (paper: +142%)
+    assert 1.3 < eth2 / base < 2.3
+    assert eth1 > 1.15 * eth2
+    # absolute runtime near the paper's 26.6 seconds
+    assert 0.7 * 26.6 < base < 1.4 * 26.6

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's §6.4 debugging story, end to end.
+
+A long MPI job runs on an expensive InfiniBand production cluster.  Hours
+in, something looks wrong.  With the IB2TCP plugin loaded you checkpoint,
+copy the images to a cheap Ethernet-only debug cluster — running a
+*different Linux kernel*, which the BLCR approach cannot tolerate — and
+restart there.  The verbs traffic now flows over TCP; you attach your
+"debugger" and inspect live application memory.
+
+Run:  python examples/ib2tcp_debug_migration.py
+"""
+
+import numpy as np
+
+from repro.apps.nas import lu_app
+from repro.core import Ib2TcpPlugin, InfinibandPlugin
+from repro.dmtcp import dmtcp_launch, dmtcp_restart
+from repro.hardware import Cluster, DEV_CLUSTER, ETHERNET_DEBUG_CLUSTER
+from repro.mpi import make_mpi_specs
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    production = Cluster(env, DEV_CLUSTER, n_nodes=2, name="production")
+    print(f"production kernel: {production.spec.kernel_version}")
+    print(f"debug-cluster kernel: "
+          f"{ETHERNET_DEBUG_CLUSTER.kernel_version}  (different!)")
+
+    specs = make_mpi_specs(
+        production, 2,
+        lambda ctx, comm: lu_app(ctx, comm, klass="A", iters_sim=30),
+        ppn=1)
+    session = env.run(until=env.process(dmtcp_launch(
+        production, specs,
+        plugin_factory=lambda: [InfinibandPlugin(
+            fallback=Ib2TcpPlugin())])))
+    print("LU.A.2 running over InfiniBand with the IB2TCP plugin loaded")
+
+    def scenario():
+        yield env.timeout(2.0)
+        print(f"[t={env.now:6.2f}s] bug suspected - checkpointing...")
+        ckpt = yield from session.checkpoint(intent="restart")
+        production.teardown()
+        print(f"[t={env.now:6.2f}s] images copied to the debug cluster")
+
+        debug = Cluster(env, ETHERNET_DEBUG_CLUSTER, n_nodes=2,
+                        name="debug")
+        session2 = yield from dmtcp_restart(debug, ckpt)
+        print(f"[t={env.now:6.2f}s] restarted over TCP on Ethernet")
+
+        # "attach gdb": inspect the restored application memory directly
+        cont = ckpt.records[0].continuation
+        state = cont.memory.region("mpi.r0.lu.data").as_ndarray(
+            dtype=np.float64)
+        print(f"(gdb) p state[0..3] = {state[:4]}")
+        print(f"(gdb) info proc     = pid {cont.appctx.proc.pid} on "
+              f"{cont.appctx.proc.node.name}")
+
+        results = yield from session2.wait()
+        return results
+
+    results = env.run(until=env.process(scenario()))
+    sums = {r.checksum for r in results}
+    assert len(sums) == 1
+    print(f"job completed on the debug cluster; checksum {sums.pop():.4f}")
+    print("OK: production-to-debug migration with a kernel change.")
+
+
+if __name__ == "__main__":
+    main()

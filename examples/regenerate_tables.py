@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables (thin wrapper).
+
+Run:  python examples/regenerate_tables.py [--full] [--table N]
+(equivalent to `python -m repro.experiments ...`)
+"""
+
+import sys
+
+from repro.experiments.__main__ import main
+
+if __name__ == "__main__":
+    sys.exit(main())

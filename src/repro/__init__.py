@@ -1,0 +1,68 @@
+"""Reproduction of "Transparent Checkpoint-Restart over InfiniBand"
+(Cao, Kerr, Arya, Cooperman - HPDC 2014) on a simulated cluster substrate.
+
+Layers (bottom up):
+
+* :mod:`repro.sim` - deterministic discrete-event kernel (the clock).
+* :mod:`repro.hardware` - nodes, HCAs, the switched IB fabric, Ethernet,
+  local disks and Lustre.
+* :mod:`repro.memory` - explicit per-process address spaces with real
+  bytes (what checkpoint images capture).
+* :mod:`repro.ibverbs` - a structural model of libibverbs: contexts with
+  ``ops`` function-pointer tables, PDs/MRs/CQs/QPs/SRQs, the RC transport.
+* :mod:`repro.net` - TCP sockets over the Ethernet segment.
+* :mod:`repro.dmtcp` - the DMTCP-like checkpoint framework: coordinator,
+  plugin API, image format, launch/restart.
+* :mod:`repro.core` - **the paper's contribution**: the InfiniBand plugin
+  (shadow structs, WQE logs, drain/refill, id virtualization) and the
+  IB2TCP migration plugin.
+* :mod:`repro.mpi` / :mod:`repro.upc` - mini-MPI and UPC/GASNet runtimes
+  over the simulated verbs.
+* :mod:`repro.blcr` - the BLCR + Open MPI CRS baseline.
+* :mod:`repro.apps` - NAS kernels (LU/EP/BT/SP/FT) and the ping-pong.
+* :mod:`repro.experiments` - regenerates every table in the paper.
+
+See ``examples/quickstart.py`` and README.md.
+"""
+
+from .core import Ib2TcpPlugin, InfinibandPlugin
+from .dmtcp import (
+    AppSpec,
+    CheckpointImage,
+    CostModel,
+    DEFAULT_COSTS,
+    dmtcp_launch,
+    dmtcp_restart,
+    native_launch,
+)
+from .hardware import (
+    BUFFALO_CCR,
+    Cluster,
+    DEV_CLUSTER,
+    ETHERNET_DEBUG_CLUSTER,
+    HardwareSpec,
+    MGHPCC,
+)
+from .sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppSpec",
+    "BUFFALO_CCR",
+    "CheckpointImage",
+    "Cluster",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DEV_CLUSTER",
+    "ETHERNET_DEBUG_CLUSTER",
+    "Environment",
+    "HardwareSpec",
+    "Ib2TcpPlugin",
+    "InfinibandPlugin",
+    "MGHPCC",
+    "__version__",
+    "dmtcp_launch",
+    "dmtcp_restart",
+    "native_launch",
+]

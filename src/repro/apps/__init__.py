@@ -1,0 +1,1 @@
+"""Applications: the OFED-style ping-pong and the NAS parallel benchmarks."""

@@ -1,0 +1,11 @@
+"""NAS Parallel Benchmarks (scaled reproductions with genuine data flow)."""
+
+from .bt_sp import bt_app, sp_app
+from .common import NAS, NasResult, NasSpec, grid_2d
+from .ep import ep_app
+from .ft import ft_app
+from .lu import lu_app
+from .upc_ft import upc_ft_app
+
+__all__ = ["NAS", "NasResult", "NasSpec", "bt_app", "ep_app", "ft_app",
+           "grid_2d", "lu_app", "sp_app", "upc_ft_app"]

@@ -1,0 +1,115 @@
+"""NAS BT and SP: ADI (alternating-direction implicit) solvers on a square
+process grid (the paper notes both require a square number of processes).
+
+Per iteration each rank exchanges faces with its four grid neighbours and
+runs the directional solves; BT's block-tridiagonal solves move bigger
+faces and more flops per point than SP's scalar-pentadiagonal ones, which
+is why BT's checkpoints are the largest in Table 6."""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+import numpy as np
+
+from .common import NAS, NasResult, alloc_scaled
+
+__all__ = ["bt_app", "sp_app"]
+
+TAG_FACE = 90
+
+
+def _adi_app(ctx, comm, benchmark: str, klass: str,
+             iters_sim: int, face_factor: float) -> Generator:
+    spec = NAS[(benchmark, klass)]
+    iters = iters_sim or spec.iters_sim
+    nprocs = comm.size
+    q = int(round(math.sqrt(nprocs)))
+    if q * q != nprocs:
+        raise ValueError(f"{benchmark} requires a square process count, "
+                         f"got {nprocs}")
+    ix, iy = comm.rank % q, comm.rank // q
+    neighbours = {
+        "west": comm.rank - 1 if ix > 0 else None,
+        "east": comm.rank + 1 if ix < q - 1 else None,
+        "north": comm.rank - q if iy > 0 else None,
+        "south": comm.rank + q if iy < q - 1 else None,
+    }
+    opposite = {"west": "east", "east": "west",
+                "north": "south", "south": "north"}
+    offsets = {"west": 0, "east": 1, "north": 2, "south": 3}
+
+    data = alloc_scaled(ctx, f"{ctx.name}.{benchmark.lower()}.data",
+                        spec.memory_per_proc(nprocs))
+    state = data.as_ndarray(dtype=np.float64)
+    rng = np.random.default_rng(8800 + comm.rank)
+    state[:] = (rng.random(len(state))
+                * np.exp(rng.normal(0.0, 20.0, len(state))))
+
+    n1, _, n3 = spec.grid
+    face_logical = (n1 / q) * n3 * 5 * 8.0 * face_factor
+    strip_real = int(min(2048, max(64, face_logical)))
+    strip_real = (strip_real // 8) * 8
+    halo = ctx.memory.mmap(f"{ctx.name}.{benchmark.lower()}.halo",
+                           8 * strip_real,
+                           repr_scale=max(1.0, face_logical / strip_real))
+    hv = halo.as_ndarray(dtype=np.float64).reshape(8, strip_real // 8)
+    sw = strip_real // 8
+
+    # 3 directional sweeps per iteration
+    flops_per_sweep = spec.flops_per_iter() / (nprocs * 3)
+
+    def face_exchange(tag: int) -> Generator:
+        requests = []
+        for name, peer in neighbours.items():
+            if peer is None:
+                continue
+            out = offsets[name]
+            hv[out] = state[out * sw:(out + 1) * sw]
+            requests.append(comm.isend(halo, out * strip_real, strip_real,
+                                       dest=peer,
+                                       tag=tag + offsets[opposite[name]]))
+            requests.append(comm.irecv(halo, (4 + out) * strip_real,
+                                       strip_real, source=peer,
+                                       tag=tag + offsets[name]))
+        for req in requests:
+            yield req
+        for name, peer in neighbours.items():
+            if peer is None:
+                continue
+            inn = 4 + offsets[name]
+            seg = offsets[name]
+            state[seg * sw:(seg + 1) * sw] = \
+                0.8 * state[seg * sw:(seg + 1) * sw] + 0.2 * hv[inn]
+
+    yield from comm.barrier()
+    t_init = ctx.env.now
+    for it in range(iters):
+        for direction in range(3):      # x, y, z ADI sweeps
+            yield from face_exchange(TAG_FACE + 8 * direction)
+            yield ctx.compute(flops=flops_per_sweep)
+            state[:] = 0.6 * state + 0.4 * np.roll(state, direction + 1)
+        state *= 0.999
+    loop_seconds = ctx.env.now - t_init
+
+    checksum = yield from comm.allreduce_obj(float(abs(state).sum()),
+                                             lambda a, b: a + b)
+    return NasResult(benchmark=benchmark, klass=klass, rank=comm.rank,
+                     nprocs=nprocs, t_init=t_init,
+                     loop_seconds=loop_seconds, iters_sim=iters,
+                     iterations=spec.iterations, checksum=checksum)
+
+
+def bt_app(ctx, comm, klass: str = "C", iters_sim: int = 0) -> Generator:
+    """Block-tridiagonal: heavier faces (5x5 blocks on the interface)."""
+    result = yield from _adi_app(ctx, comm, "BT", klass, iters_sim,
+                                 face_factor=2.5)
+    return result
+
+
+def sp_app(ctx, comm, klass: str = "C", iters_sim: int = 0) -> Generator:
+    """Scalar-pentadiagonal: lighter faces, more iterations."""
+    result = yield from _adi_app(ctx, comm, "SP", klass, iters_sim,
+                                 face_factor=1.0)
+    return result

@@ -1,0 +1,62 @@
+"""NAS EP (Embarrassingly Parallel): Gaussian-pair tallies.
+
+Each rank generates pseudo-random pairs, counts acceptances per annulus,
+and a single reduction at the end combines the tallies — the benchmark is
+almost pure compute, which is why the paper's Table 6 shows EP checkpoint
+images staying small and DMTCP overhead near zero."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .common import NAS, NasResult, alloc_scaled
+
+__all__ = ["ep_app"]
+
+#: EP keeps only tallies: per-process resident set (logical bytes)
+EP_PROC_BYTES = 24e6
+
+
+def ep_app(ctx, comm, klass: str = "D", iters_sim: int = 0) -> Generator:
+    spec = NAS[("EP", klass)]
+    chunks = iters_sim or spec.iters_sim
+    nprocs = comm.size
+
+    data = alloc_scaled(ctx, f"{ctx.name}.ep.data", EP_PROC_BYTES,
+                        real_cap=16384)
+    tallies = data.as_ndarray(dtype=np.float64)[:16]
+    tallies[:] = 0.0
+    rng = np.random.default_rng(9000 + comm.rank)
+    flops_per_chunk = spec.flops_total / (nprocs * chunks)
+
+    yield from comm.barrier()
+    t_init = ctx.env.now
+    for _ in range(chunks):
+        yield ctx.compute(flops=flops_per_chunk)
+        # a genuinely computed (small) sample batch feeding the tallies
+        xy = rng.random((256, 2)) * 2.0 - 1.0
+        t = (xy ** 2).sum(axis=1)
+        accepted = xy[t <= 1.0]
+        factor = np.sqrt(-2.0 * np.log(np.maximum(t[t <= 1.0], 1e-12))
+                         / np.maximum(t[t <= 1.0], 1e-12))
+        gauss = accepted * factor[:, None]
+        mags = np.maximum(np.abs(gauss[:, 0]), np.abs(gauss[:, 1]))
+        for annulus in range(10):
+            tallies[annulus] += int(((mags >= annulus)
+                                     & (mags < annulus + 1)).sum())
+        tallies[10] += gauss[:, 0].sum()
+        tallies[11] += gauss[:, 1].sum()
+    loop_seconds = ctx.env.now - t_init
+
+    sums = yield from comm.allreduce_obj(
+        (float(tallies[10]), float(tallies[11])),
+        lambda a, b: (a[0] + b[0], a[1] + b[1]))
+    checksum = sums[0] + sums[1]
+    # EP charges its *entire* work across the simulated chunks, so the
+    # projection factor must be 1 (iterations == iters_sim)
+    return NasResult(benchmark="EP", klass=klass, rank=comm.rank,
+                     nprocs=nprocs, t_init=t_init,
+                     loop_seconds=loop_seconds, iters_sim=chunks,
+                     iterations=chunks, checksum=checksum)

@@ -1,0 +1,81 @@
+"""NAS FT: 3D FFT of an evolving field — slab decomposition.
+
+Per iteration: evolve the field, local FFTs along two dimensions, a global
+transpose (all-to-all — FT's defining communication), the third-dimension
+FFT, and a checksum reduction (the reference code prints one per
+iteration).  Provided both as an MPI program and as a native UPC program
+(:mod:`.upc_ft`) — the paper's §6.3 uses the GWU UPC port of FT because LU
+had no UPC port."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .common import NAS, NasResult, alloc_scaled
+
+__all__ = ["ft_app"]
+
+
+def ft_app(ctx, comm, klass: str = "B", iters_sim: int = 0) -> Generator:
+    spec = NAS[("FT", klass)]
+    iters = iters_sim or spec.iters_sim
+    nprocs = comm.size
+
+    # local slab (genuine complex data, scaled logical size)
+    data = alloc_scaled(ctx, f"{ctx.name}.ft.data",
+                        spec.memory_per_proc(nprocs))
+    m = (len(data.buffer) // 16 // 64) * 64  # complex128 count, 64-aligned
+    field = data.as_ndarray(dtype=np.complex128)[:m]
+    rng = np.random.default_rng(4100 + comm.rank)
+    spread = np.exp(rng.normal(0.0, 30.0, m))
+    field[:] = (rng.random(m) + 1j * rng.random(m)) * spread
+
+    # transpose buffers: n blocks each standing for slab/nprocs bytes
+    n1, n2, n3 = spec.grid
+    slab_logical = n1 * n2 * n3 * 16.0 / nprocs   # one complex array's slab
+    block_logical = slab_logical / nprocs
+    block_real = int(min(4096, max(128, block_logical)))
+    block_real = (block_real // 16) * 16
+    scale = max(1.0, block_logical / block_real)
+    send_buf = ctx.memory.mmap(f"{ctx.name}.ft.send",
+                               block_real * nprocs, repr_scale=scale)
+    recv_buf = ctx.memory.mmap(f"{ctx.name}.ft.recv",
+                               block_real * nprocs, repr_scale=scale)
+    sview = send_buf.as_ndarray(dtype=np.complex128)
+    rview = recv_buf.as_ndarray(dtype=np.complex128)
+    bc = block_real // 16  # complex per block
+
+    flops_per_phase = spec.flops_per_iter() / (nprocs * 3)
+
+    yield from comm.barrier()
+    t_init = ctx.env.now
+    checksum = 0.0
+    for it in range(iters):
+        # evolve + FFT along the two local dimensions
+        field *= np.exp(-1e-6 * (it + 1))
+        chunk = field[:256].reshape(16, 16)
+        chunk[:] = np.fft.fft(chunk, axis=0)
+        yield ctx.compute(flops=2 * flops_per_phase)
+        # global transpose
+        for b in range(nprocs):
+            sview[b * bc:(b + 1) * bc] = field[(b * bc) % m:
+                                               (b * bc) % m + bc]
+        yield from comm.alltoall_buffers(send_buf, recv_buf, block_real)
+        # third-dimension FFT on the transposed data
+        field[:nprocs * bc] = np.fft.ifft(
+            rview[:nprocs * bc].reshape(nprocs, bc), axis=1).ravel()
+        yield ctx.compute(flops=flops_per_phase)
+        # per-iteration checksum (as the reference FT prints)
+        local = complex(field[:64].sum())
+        total = yield from comm.allreduce_obj(
+            (local.real, local.imag),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]))
+        checksum += abs(complex(*total))
+    loop_seconds = ctx.env.now - t_init
+
+    return NasResult(benchmark="FT", klass=klass, rank=comm.rank,
+                     nprocs=nprocs, t_init=t_init,
+                     loop_seconds=loop_seconds, iters_sim=iters,
+                     iterations=spec.iterations, checksum=checksum)

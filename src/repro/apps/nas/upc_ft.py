@@ -1,0 +1,86 @@
+"""The UPC port of NAS FT (after the GWU UPC NPB port the paper uses).
+
+Same computation as :mod:`.ft`, but the transpose is expressed the UPC
+way: the field lives in a shared block-cyclic array and each thread
+one-sidedly ``get``s the blocks it needs — RDMA reads over the GASNet ibv
+conduit, no MPI anywhere.  A shared tally array plus barriers replaces the
+checksum allreduce."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .common import NAS, NasResult
+
+__all__ = ["upc_ft_app"]
+
+
+def upc_ft_app(ctx, upc, klass: str = "B",
+               iters_sim: int = 0) -> Generator:
+    spec = NAS[("FT", klass)]
+    iters = iters_sim or spec.iters_sim
+    threads = upc.THREADS
+    me = upc.MYTHREAD
+
+    n1, n2, n3 = spec.grid
+    slab_logical = n1 * n2 * n3 * 16.0 / threads
+    block_logical = slab_logical / threads
+    block_real = int(min(4096, max(256, block_logical)))
+    block_real = (block_real // 16) * 16
+
+    # the field: one block per (i, j) thread pair, affinity round-robin
+    field = upc.all_alloc(nblocks=threads * threads,
+                          block_bytes=block_real)
+    # checksum tallies: one block per thread
+    sums = upc.all_alloc(nblocks=threads, block_bytes=64)
+    scratch = upc.scratch(block_real)
+
+    rng = np.random.default_rng(5200 + me)
+    for b in range(threads * threads):
+        if field.owner(b) == me:
+            view = field.local_view(b)
+            view[:] = rng.random(len(view))
+
+    flops_per_phase = spec.flops_per_iter() / (threads * 3)
+    yield from upc.barrier()
+    t_init = ctx.env.now
+    checksum = 0.0
+    for it in range(iters):
+        # local FFT phases on my row of blocks
+        yield ctx.compute(flops=2 * flops_per_phase)
+        for b in range(threads * threads):
+            if field.owner(b) == me:
+                view = field.local_view(b)
+                n = (len(view) // 16) * 16
+                view[:n] = np.abs(np.fft.fft(
+                    view[:n].reshape(-1, 16), axis=1)).ravel() % 10.0
+        yield from upc.barrier()
+        # transpose: one-sided gets of my column's remote blocks
+        for j in range(threads):
+            block = j * threads + me   # column block living on thread j
+            yield from field.get(block, scratch)
+        yield ctx.compute(flops=flops_per_phase)
+        # checksum: each thread publishes a partial into the shared array
+        mine = 0.0
+        for b in range(threads * threads):
+            if field.owner(b) == me:
+                mine += float(field.local_view(b).sum())
+        sums.local_view(me)[0] = mine
+        yield from upc.barrier()
+        total = 0.0
+        sum_scratch = upc.scratch(block_real + 64)
+        for t in range(threads):
+            yield from sums.get(t, sum_scratch)
+            got = np.frombuffer(upc.core.segment.buffer, dtype=np.float64,
+                                count=1, offset=sum_scratch)
+            total += float(got[0])
+        checksum += total
+        yield from upc.barrier()
+    loop_seconds = ctx.env.now - t_init
+
+    return NasResult(benchmark="FT", klass=klass, rank=me,
+                     nprocs=threads, t_init=t_init,
+                     loop_seconds=loop_seconds, iters_sim=iters,
+                     iterations=spec.iterations, checksum=checksum)

@@ -1,0 +1,14 @@
+"""BLCR kernel-module checkpointer + Open MPI checkpoint-restart service
+(the paper's baseline)."""
+
+from .blcr import BlcrCheckpointer, BlcrError, BlcrKernelMismatchError
+from .ompi_crs import CrsQuiesceTimeout, OmpiCrsSession, ompi_crs_launch
+
+__all__ = [
+    "BlcrCheckpointer",
+    "BlcrError",
+    "BlcrKernelMismatchError",
+    "CrsQuiesceTimeout",
+    "OmpiCrsSession",
+    "ompi_crs_launch",
+]

@@ -1,0 +1,147 @@
+"""The Open MPI checkpoint-restart service (CRCP + FileM) around BLCR —
+the baseline the paper compares against in §6.2 / Table 6.
+
+The four-step recipe the paper describes (§1): (i) quiesce MPI traffic via
+the CRCP bookmark protocol; (ii) tear down every InfiniBand connection and
+deregister pinned memory (BLCR cannot checkpoint either); (iii) have BLCR
+checkpoint each node in isolation; (iv) rebuild the network.  On top, the
+FileM stage copies every local image to one central node — which
+"serializes part of the parallel checkpoint" and is why BLCR checkpoint
+times stay flat or grow with the process count while DMTCP's shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Sequence
+
+from ..dmtcp.costs import CostModel, DEFAULT_COSTS
+from ..dmtcp.image import CheckpointImage
+from ..dmtcp.launcher import AppSpec, NativeSession
+from ..dmtcp.process import AppContext
+from ..hardware.cluster import Cluster
+from .blcr import BlcrCheckpointer
+
+__all__ = ["OmpiCrsSession", "ompi_crs_launch", "CrsQuiesceTimeout"]
+
+
+class CrsQuiesceTimeout(RuntimeError):
+    """The CRCP bookmark protocol could not drain MPI traffic (e.g. a
+    rendezvous whose receive was never posted)."""
+
+
+@dataclass
+class CrsCheckpointStats:
+    wall_seconds: float
+    local_write_seconds: float
+    filem_seconds: float
+    images: List[CheckpointImage]
+
+    @property
+    def total_logical_bytes(self) -> float:
+        return sum(img.logical_size for img in self.images)
+
+
+class OmpiCrsSession:
+    """A natively-launched MPI job wrapped by the CR service."""
+
+    def __init__(self, cluster: Cluster, session: NativeSession,
+                 costs: CostModel = DEFAULT_COSTS):
+        self.cluster = cluster
+        self.session = session
+        self.costs = costs
+        self.env = session.env
+        self.central_node = cluster.nodes[0]
+
+    def wait(self) -> Generator:
+        return self.session.wait()
+
+    # -- the four-step checkpoint ------------------------------------------------
+
+    def checkpoint(self, ckpt_dir: str = "/tmp",
+                   quiesce_timeout: float = 30.0) -> Generator:
+        env = self.env
+        t0 = env.now
+        ctxs = self.session.appctxs
+
+        # (i) CRCP quiesce: freeze application threads at MPI boundaries,
+        # let the library's progress/helper threads drain in-flight traffic
+        for ctx in ctxs:
+            for thread in ctx.proc.threads:
+                if thread.name.endswith(".main") and thread.is_alive:
+                    thread.suspend()
+        yield env.timeout(self.costs.crcp_quiesce_base)  # bookmark exchange
+        deadline = env.now + quiesce_timeout
+        while any(ctx.btl.pending_traffic() or ctx.comm.pending_transfers()
+                  for ctx in ctxs):
+            if env.now > deadline:
+                raise CrsQuiesceTimeout(
+                    "MPI traffic did not drain; BLCR cannot proceed")
+            yield env.timeout(1e-3)
+
+        # (ii) tear down the InfiniBand connections + pinned memory
+        for ctx in ctxs:
+            for thread in ctx.proc.threads:
+                if thread.is_alive and not thread.suspended:
+                    thread.suspend()
+            ctx.btl.crs_teardown()
+
+        # (iii) BLCR checkpoints every node in isolation (parallel; each
+        # node's disk serializes its own processes)
+        writes = []
+        images: Dict[str, CheckpointImage] = {}
+
+        def one(ctx: AppContext):
+            blcr = BlcrCheckpointer(ctx.proc.node)
+            image = yield from blcr.checkpoint(
+                ctx.proc, f"{ckpt_dir}/blcr_{ctx.name}.ckpt")
+            images[ctx.name] = image
+
+        for ctx in ctxs:
+            writes.append(env.process(one(ctx), name=f"blcr.{ctx.name}"))
+        yield env.all_of(writes)
+        t_local = env.now - t0
+
+        # (iv-a) FileM: copy all images to the central node, serialized
+        # through its NIC / the coordinator process
+        central_fs = self.central_node.local_disk.fs
+        for ctx in ctxs:
+            image = images[ctx.name]
+            yield env.timeout(self.costs.ompi_filem_per_image
+                              + image.logical_size / self.costs.ompi_filem_bw)
+            central_fs.store(f"{ckpt_dir}/central/blcr_{ctx.name}.ckpt",
+                             image.to_bytes(), image.logical_size)
+        t_filem = env.now - t0 - t_local
+
+        # (iv-b) rebuild the network and continue (QPs reconnect lazily)
+        for ctx in ctxs:
+            ctx.btl.crs_rebuild()
+        for ctx in ctxs:
+            for thread in ctx.proc.threads:
+                if thread.is_alive and thread.suspended:
+                    thread.unsuspend()
+            ctx.btl.kick_progress()
+
+        return CrsCheckpointStats(
+            wall_seconds=env.now - t0, local_write_seconds=t_local,
+            filem_seconds=t_filem, images=list(images.values()))
+
+
+def ompi_crs_launch(cluster: Cluster, specs: Sequence[AppSpec],
+                    costs: CostModel = DEFAULT_COSTS) -> OmpiCrsSession:
+    """Launch an MPI job under the CR service (adds its runtime taxes)."""
+    from ..dmtcp.launcher import native_launch
+
+    wrapped_specs = []
+    for spec in specs:
+
+        def factory(ctx: AppContext, spec=spec) -> Generator:
+            ctx.proc.compute_tax = costs.crs_compute_tax
+            yield ctx.proc.compute(seconds=costs.crs_startup)
+            return (yield from spec.factory(ctx))
+
+        wrapped_specs.append(AppSpec(node_index=spec.node_index,
+                                     name=spec.name, factory=factory,
+                                     rank=spec.rank))
+    session = native_launch(cluster, wrapped_specs)
+    return OmpiCrsSession(cluster, session, costs)

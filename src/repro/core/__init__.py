@@ -1,0 +1,7 @@
+"""The paper's contributions: the InfiniBand checkpoint-restart plugin and
+the IB2TCP migration plugin."""
+
+from .ib2tcp import Ib2TcpPlugin
+from .ib_plugin import InfinibandPlugin
+
+__all__ = ["Ib2TcpPlugin", "InfinibandPlugin"]

@@ -1,0 +1,39 @@
+"""The InfiniBand DMTCP plugin (the paper's primary contribution)."""
+
+from .errors import (
+    HeterogeneousDriverError,
+    IbPluginError,
+    NoInfinibandError,
+    UnsupportedQpTypeError,
+    VirtualIdConflictError,
+)
+from .plugin import InfinibandPlugin
+from .shadow import (
+    RecvLogEntry,
+    SendLogEntry,
+    VirtualContext,
+    VirtualCq,
+    VirtualMr,
+    VirtualPd,
+    VirtualQp,
+    VirtualSrq,
+)
+from .wrappers import WrappedVerbs
+
+__all__ = [
+    "HeterogeneousDriverError",
+    "IbPluginError",
+    "InfinibandPlugin",
+    "NoInfinibandError",
+    "RecvLogEntry",
+    "SendLogEntry",
+    "UnsupportedQpTypeError",
+    "VirtualContext",
+    "VirtualCq",
+    "VirtualMr",
+    "VirtualPd",
+    "VirtualQp",
+    "VirtualSrq",
+    "VirtualIdConflictError",
+    "WrappedVerbs",
+]

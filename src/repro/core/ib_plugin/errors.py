@@ -1,0 +1,38 @@
+"""Plugin-specific failure modes (each mirrors a limitation the paper
+discusses in §4/§7)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "IbPluginError",
+    "HeterogeneousDriverError",
+    "UnsupportedQpTypeError",
+    "VirtualIdConflictError",
+    "NoInfinibandError",
+]
+
+
+class IbPluginError(RuntimeError):
+    """Base class for InfiniBand-plugin failures."""
+
+
+class HeterogeneousDriverError(IbPluginError):
+    """Restart onto a different HCA vendor: the checkpoint image embeds the
+    original vendor's user-space driver (§4).  The §7 future-work fix —
+    forcing the library to re-initialize and load the right driver — is
+    available as ``allow_driver_reload=True``."""
+
+
+class UnsupportedQpTypeError(IbPluginError):
+    """Unreliable-datagram QPs are not supported for checkpointing (§4)."""
+
+
+class VirtualIdConflictError(IbPluginError):
+    """An InfiniBand object created *after* restart received a real id that
+    collides with a pre-checkpoint virtual id (§7's theoretical conflict).
+    Construct the plugin with ``globally_unique_vids=True`` for the fix the
+    paper proposes."""
+
+
+class NoInfinibandError(IbPluginError):
+    """Restarted on a node with no HCA and no IB2TCP fallback configured."""

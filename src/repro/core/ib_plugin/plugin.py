@@ -1,0 +1,461 @@
+"""The InfiniBand DMTCP plugin — the paper's primary contribution (§3).
+
+Lifecycle:
+
+* **launch** — :meth:`install` interposes :class:`WrappedVerbs` over the
+  real library; virtual ids equal real ids (§3.2: translation is trivial
+  before the first restart).
+* **checkpoint** — after user threads quiesce, :meth:`drain_round` empties
+  every real completion queue into per-CQ private queues (Principle 4),
+  repeating under the coordinator's global settle protocol until the whole
+  job is quiet; WRITE_CKPT then discards send-log entries that can never
+  produce a local completion (§4's immediate/inline case).
+* **resume** — nothing to do: private queues are served first (Principle 5)
+  and the hardware state is untouched.
+* **restart** — RESTART re-creates every resource against the new node's
+  hardware (new real ids); the checkpoint manager then runs the
+  publish/subscribe exchange (§3.2.1-§3.2.2); RESTART_REPLAY replays the
+  modify_qp logs and re-posts every logged WQE (Principles 3 and 6 — data
+  is re-sent only here, from restored memory).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...dmtcp.costs import CostModel, DEFAULT_COSTS
+from ...dmtcp.events import DmtcpEvent
+from ...dmtcp.plugin import Plugin
+from ...ibverbs.enums import AccessFlags, QpAttrMask, QpType, WcOpcode
+from ...ibverbs.structs import ibv_qp_init_attr, ibv_sge, ibv_wc
+from .errors import (
+    HeterogeneousDriverError,
+    NoInfinibandError,
+    UnsupportedQpTypeError,
+    VirtualIdConflictError,
+)
+from .shadow import (
+    VirtualContext,
+    VirtualCq,
+    VirtualMr,
+    VirtualPd,
+    VirtualQp,
+    VirtualSrq,
+)
+from .wrappers import WrappedVerbs
+
+_RECV_OPCODES = (WcOpcode.RECV, WcOpcode.RECV_RDMA_WITH_IMM)
+
+__all__ = ["InfinibandPlugin"]
+
+
+def _pd_key(guid) -> str:
+    return f"{guid[0]}/{guid[1]}"
+
+
+class InfinibandPlugin(Plugin):
+    """DMTCP plugin for transparent checkpoint-restart over InfiniBand."""
+
+    name = "infiniband"
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS,
+                 allow_driver_reload: bool = False,
+                 globally_unique_vids: bool = False,
+                 fallback: Optional[Plugin] = None):
+        super().__init__()
+        self.costs = costs
+        self.allow_driver_reload = allow_driver_reload
+        self.globally_unique_vids = globally_unique_vids
+        self.fallback = fallback          # e.g. the IB2TCP plugin
+        self.delegated = False            # True once fallback took over
+        self.real_lib = None
+        self.wrapped = WrappedVerbs(self)
+        # registry of live virtual resources (Figure 2's "plugin internal
+        # resources"), in creation order for faithful re-creation
+        self.contexts: List[VirtualContext] = []
+        self.pds: List[VirtualPd] = []
+        self.mrs: List[VirtualMr] = []
+        self.cqs: List[VirtualCq] = []
+        self.srqs: List[VirtualSrq] = []
+        self.qps: List[VirtualQp] = []
+        # translation tables (§3.2)
+        self.vqp_by_vqpn: Dict[int, VirtualQp] = {}
+        self.vqp_by_real_qpn: Dict[int, VirtualQp] = {}
+        self.vmr_by_vlkey: Dict[int, VirtualMr] = {}
+        self.db: Dict[str, Any] = {}      # published ids after restart
+        self._remote_real_to_vqpn: Dict[int, int] = {}
+        self.restarted = False
+        self._pd_counter = 0
+        self._vid_counter = 0
+        self.stats = {"wrapper_calls": 0, "drained_completions": 0,
+                      "reposted_sends": 0, "reposted_recvs": 0,
+                      "replayed_modifies": 0}
+
+    # -- installation ------------------------------------------------------------
+
+    def install(self, appctx) -> None:
+        super().install(appctx)
+        self.real_lib = appctx.proc.libs["ibverbs"]
+        appctx.proc.libs["ibverbs"] = self.wrapped
+
+    def charge_wrapper(self, nbytes: float = 0.0) -> None:
+        self.stats["wrapper_calls"] += 1
+        self.appctx.proc.overhead_debt += self.costs.wrapper_cost(nbytes)
+
+    def charge_ib2tcp_copy(self, nbytes: float) -> None:
+        """Extra in-memory copy the IB2TCP plugin performs on every post
+        while loaded (§6.4.1) — charged even before any restart."""
+        if self.fallback is not None:
+            self.appctx.proc.overhead_debt += (
+                self.costs.ib2tcp_copy_per_call
+                + self.costs.ib2tcp_copy_per_byte * nbytes)
+
+    # -- registry ------------------------------------------------------------------
+
+    def registry_add(self, vobj) -> None:
+        {VirtualContext: self.contexts, VirtualPd: self.pds,
+         VirtualMr: self.mrs, VirtualCq: self.cqs,
+         VirtualSrq: self.srqs, VirtualQp: self.qps}[type(vobj)].append(vobj)
+
+    def registry_remove(self, vobj) -> None:
+        bucket = {VirtualContext: self.contexts, VirtualPd: self.pds,
+                  VirtualMr: self.mrs, VirtualCq: self.cqs,
+                  VirtualSrq: self.srqs, VirtualQp: self.qps}[type(vobj)]
+        if vobj in bucket:
+            bucket.remove(vobj)
+        if isinstance(vobj, VirtualQp):
+            self.vqp_by_vqpn.pop(vobj.qp_num, None)
+            if vobj.real is not None:
+                self.vqp_by_real_qpn.pop(vobj.real.qp_num, None)
+        elif isinstance(vobj, VirtualMr):
+            self.vmr_by_vlkey.pop(vobj.lkey, None)
+
+    # -- resource creation (called from WrappedVerbs) -----------------------------
+
+    def open_device(self, device) -> VirtualContext:
+        real = self.real_lib.open_device(device)
+        vctx = VirtualContext(real=real, device_name=device.name,
+                              vendor=device.vendor, real_ops=real.ops)
+        # Principle 2: the ops table handed to the application holds the
+        # plugin's function pointers
+        vctx.ops.post_send = self.wrapped.ops_post_send
+        vctx.ops.post_recv = self.wrapped.ops_post_recv
+        vctx.ops.post_srq_recv = self.wrapped.ops_post_srq_recv
+        vctx.ops.poll_cq = self.wrapped.ops_poll_cq
+        vctx.ops.req_notify_cq = self.wrapped.ops_req_notify_cq
+        self.registry_add(vctx)
+        return vctx
+
+    def alloc_pd(self, vctx: VirtualContext) -> VirtualPd:
+        real = self.real_lib.alloc_pd(vctx.real)
+        guid = (self.appctx.name, self._pd_counter)
+        self._pd_counter += 1
+        vpd = VirtualPd(real=real, vcontext=vctx, guid=guid)
+        self.registry_add(vpd)
+        return vpd
+
+    def _alloc_virtual_id(self, real_id: int, table: Dict[int, Any]) -> int:
+        """Virtual id policy: identical to the real id at creation (§3.2),
+        unless that would collide after a restart — §7's conflict — in
+        which case ``globally_unique_vids`` switches to a private range."""
+        if real_id not in table:
+            return real_id
+        if not self.globally_unique_vids:
+            raise VirtualIdConflictError(
+                f"real id {real_id:#x} assigned after restart collides "
+                "with a live virtual id (paper §7)")
+        self._vid_counter += 1
+        return (abs(hash(self.appctx.name)) % 0xFFFF << 32) \
+            | self._vid_counter
+
+    def reg_mr(self, vpd: VirtualPd, addr: int, length: int,
+               access) -> VirtualMr:
+        if access is None:
+            access = AccessFlags.LOCAL_WRITE
+        real = self.real_lib.reg_mr(vpd.real, addr, length, access)
+        vlkey = self._alloc_virtual_id(real.lkey, self.vmr_by_vlkey)
+        vrkey = real.rkey if vlkey == real.lkey else vlkey + 1
+        vmr = VirtualMr(real=real, vpd=vpd, addr=addr, length=length,
+                        access=access, lkey=vlkey, rkey=vrkey)
+        self.vmr_by_vlkey[vlkey] = vmr
+        self.registry_add(vmr)
+        return vmr
+
+    def create_qp(self, vpd: VirtualPd,
+                  init_attr: ibv_qp_init_attr) -> VirtualQp:
+        vsend, vrecv = init_attr.send_cq, init_attr.recv_cq
+        vsrq = init_attr.srq
+        real_attr = ibv_qp_init_attr(
+            send_cq=vsend.real, recv_cq=vrecv.real,
+            srq=vsrq.real if vsrq is not None else None,
+            qp_type=init_attr.qp_type, sq_sig_all=init_attr.sq_sig_all,
+            max_send_wr=init_attr.max_send_wr,
+            max_recv_wr=init_attr.max_recv_wr,
+            max_inline_data=init_attr.max_inline_data)
+        real = self.real_lib.create_qp(vpd.real, real_attr)
+        vqpn = self._alloc_virtual_id(real.qp_num, self.vqp_by_vqpn)
+        vqp = VirtualQp(real=real, vpd=vpd, qp_num=vqpn,
+                        qp_type=init_attr.qp_type, vsend_cq=vsend,
+                        vrecv_cq=vrecv, vsrq=vsrq,
+                        sq_sig_all=init_attr.sq_sig_all,
+                        max_send_wr=init_attr.max_send_wr,
+                        max_recv_wr=init_attr.max_recv_wr,
+                        max_inline_data=init_attr.max_inline_data)
+        self.vqp_by_vqpn[vqpn] = vqp
+        self.vqp_by_real_qpn[real.qp_num] = vqp
+        self.registry_add(vqp)
+        return vqp
+
+    # -- id translation (§3.2) ------------------------------------------------------
+
+    def translate_sge(self, sge: ibv_sge) -> ibv_sge:
+        vmr = self.vmr_by_vlkey.get(sge.lkey)
+        real_lkey = vmr.real.lkey if vmr is not None else sge.lkey
+        return ibv_sge(addr=sge.addr, length=sge.length, lkey=real_lkey)
+
+    def translate_rkey(self, vqp: VirtualQp, vrkey: int) -> int:
+        """(virtual qp, vrkey) → real rkey via the remote pd (§3.2.2):
+        the local virtual qp determines the remote virtual qp, whose
+        published tuple carries the globally-unique pd; (pd, vrkey) then
+        resolves to the real rkey."""
+        if not self.restarted:
+            return vrkey  # trivial before the first restart
+        qinfo = self.db.get(f"qp:{vqp.remote_vlid}/{vqp.remote_vqpn}")
+        if qinfo is None:
+            return vrkey
+        rkey = self.db.get(f"mr:{qinfo['pd']}:{vrkey}")
+        return vrkey if rkey is None else rkey
+
+    def translate_qp_attr(self, attr, mask: QpAttrMask,
+                          vqp: Optional[VirtualQp] = None):
+        real_attr = attr.copy()
+        if self.restarted:
+            if mask & QpAttrMask.DEST_QPN:
+                vlid = attr.dlid if mask & QpAttrMask.AV else (
+                    vqp.remote_vlid if vqp is not None else None)
+                qinfo = self.db.get(f"qp:{vlid}/{attr.dest_qp_num}")
+                if qinfo is not None:
+                    real_attr.dest_qp_num = qinfo["qpn"]
+            if mask & QpAttrMask.AV:
+                real_lid = self.db.get(f"lid:{attr.dlid}")
+                if real_lid is not None:
+                    real_attr.dlid = real_lid
+        return real_attr
+
+    def translate_wc(self, wc: ibv_wc) -> ibv_wc:
+        """Real completion → what the application is allowed to see."""
+        vqp = self.vqp_by_real_qpn.get(wc.qp_num)
+        vqpn = vqp.qp_num if vqp is not None else wc.qp_num
+        src = wc.src_qp
+        if self.restarted and src:
+            src = self._remote_real_to_vqpn.get(src, src)
+        return ibv_wc(wr_id=wc.wr_id, status=wc.status, opcode=wc.opcode,
+                      byte_len=wc.byte_len, imm_data=wc.imm_data,
+                      qp_num=vqpn, src_qp=src, wc_flags=wc.wc_flags)
+
+    # -- Principle 3 bookkeeping -------------------------------------------------------
+
+    def bookkeep_completion(self, wc: ibv_wc) -> None:
+        """A polled completion destroys its logged WQE."""
+        vqp = self.vqp_by_real_qpn.get(wc.qp_num)
+        if vqp is None:
+            return
+        if wc.opcode in _RECV_OPCODES:
+            log = vqp.vsrq.recv_log if vqp.vsrq is not None else vqp.recv_log
+            for i, entry in enumerate(log):
+                if entry.wr.wr_id == wc.wr_id:
+                    del log[i]
+                    break
+        else:
+            # send completions are ordered: a signaled completion implies
+            # every earlier (possibly unsignaled) WQE on the QP completed
+            for i, entry in enumerate(vqp.send_log):
+                if entry.wr.wr_id == wc.wr_id:
+                    del vqp.send_log[: i + 1]
+                    break
+
+    # -- Principles 4/5: drain and refill ----------------------------------------------
+
+    def drain_round(self) -> int:
+        if self.delegated:
+            return self.fallback.drain_round()
+        drained = 0
+        for vcq in self.cqs:
+            while True:
+                wcs = vcq.context.real_ops.poll_cq(vcq.real, 64)
+                if not wcs:
+                    break
+                for wc in wcs:
+                    self.bookkeep_completion(wc)
+                    vcq.private_queue.append(self.translate_wc(wc))
+                drained += len(wcs)
+        self.stats["drained_completions"] += drained
+        return drained
+
+    def arm_notify(self, vcq: VirtualCq):
+        """Wrapped req_notify: fires on private-queue content or real CQ
+        activity; restart re-arms it against the re-created CQ."""
+        env = self.appctx.env
+        evt = env.event()
+        if vcq.private_queue:
+            evt.succeed()
+            return evt
+        vcq.pending_notify = evt
+        if not self.delegated:
+            self._chain_notify(vcq)
+        return evt
+
+    def _chain_notify(self, vcq: VirtualCq) -> None:
+        evt = vcq.pending_notify
+        if evt is None or evt.triggered:
+            return
+        real_evt = self.real_lib.req_notify_cq(vcq.real)
+
+        def fire(_e):
+            if vcq.pending_notify is evt and not evt.triggered:
+                vcq.pending_notify = None
+                evt.succeed()
+
+        if real_evt.callbacks is None:
+            fire(real_evt)
+        else:
+            real_evt.callbacks.append(fire)
+
+    # -- event hooks -----------------------------------------------------------------------
+
+    def event(self, event: DmtcpEvent, data: Any = None) -> None:
+        if event is DmtcpEvent.PRESUSPEND:
+            for vqp in self.qps:
+                if vqp.qp_type is QpType.UD:
+                    raise UnsupportedQpTypeError(
+                        "cannot checkpoint a UD queue pair (§4)")
+        elif event is DmtcpEvent.WRITE_CKPT:
+            # §4: immediate/inline RDMA posts generate no local completion;
+            # after the global settle the drain protocol assumes them done
+            for vqp in self.qps:
+                vqp.send_log = [e for e in vqp.send_log
+                                if not e.assume_complete_on_drain]
+        elif event is DmtcpEvent.RESTART:
+            self._restart_recreate()
+        elif event is DmtcpEvent.RESTART_REPLAY:
+            self._restart_replay()
+
+    def image_metadata(self) -> Dict[str, Any]:
+        if self.contexts:
+            return {"hca_vendor": self.contexts[0].vendor}
+        return {}
+
+    # -- restart phase 1: recreate resources -------------------------------------------------
+
+    def _restart_recreate(self) -> None:
+        self.restarted = True
+        new_lib = self.appctx.proc.libs["ibverbs"]
+        devices = new_lib.get_device_list()
+        if not devices:
+            if self.fallback is not None:
+                self.delegated = True
+                self.real_lib = new_lib
+                self.appctx.proc.libs["ibverbs"] = self.wrapped
+                self.fallback.adopt(self)
+                return
+            raise NoInfinibandError(
+                "restart node has no HCA and no IB2TCP fallback")
+        device = devices[0]
+        self.real_lib = new_lib
+        self.appctx.proc.libs["ibverbs"] = self.wrapped
+        for vctx in self.contexts:
+            if device.vendor != vctx.vendor:
+                if not self.allow_driver_reload:
+                    raise HeterogeneousDriverError(
+                        f"image embeds the {vctx.vendor!r} user-space "
+                        f"driver but the restart node has "
+                        f"{device.vendor!r} (§4); pass "
+                        "allow_driver_reload=True for the §7 re-load path")
+                vctx.vendor = device.vendor
+            real = new_lib.open_device(device)
+            vctx.real = real
+            vctx.real_ops = real.ops
+            vctx.device_name = device.name
+            vctx.real_lid = new_lib.query_port(real).lid
+        for vpd in self.pds:
+            vpd.real = new_lib.alloc_pd(vpd.vcontext.real)
+        for vmr in self.mrs:
+            vmr.real = new_lib.reg_mr(vmr.vpd.real, vmr.addr, vmr.length,
+                                      vmr.access)
+        for vcq in self.cqs:
+            vcq.real = new_lib.create_cq(vcq.vcontext.real, vcq.cqe)
+        for vsrq in self.srqs:
+            vsrq.real = new_lib.create_srq(vsrq.vpd.real, vsrq.max_wr)
+            for limit in vsrq.modify_log:
+                new_lib.modify_srq(vsrq.real, limit)
+        self.vqp_by_real_qpn.clear()
+        for vqp in self.qps:
+            real_attr = ibv_qp_init_attr(
+                send_cq=vqp.vsend_cq.real, recv_cq=vqp.vrecv_cq.real,
+                srq=vqp.vsrq.real if vqp.vsrq is not None else None,
+                qp_type=vqp.qp_type, sq_sig_all=vqp.sq_sig_all,
+                max_send_wr=vqp.max_send_wr, max_recv_wr=vqp.max_recv_wr,
+                max_inline_data=vqp.max_inline_data)
+            vqp.real = new_lib.create_qp(vqp.vpd.real, real_attr)
+            self.vqp_by_real_qpn[vqp.real.qp_num] = vqp
+
+    # -- publish/subscribe (§3.2.1) ---------------------------------------------------------
+
+    def ns_publish(self) -> Dict[str, Any]:
+        if self.delegated:
+            return self.fallback.ns_publish()
+        entries: Dict[str, Any] = {}
+        for vctx in self.contexts:
+            entries[f"lid:{vctx.vlid}"] = vctx.real_lid
+        for vqp in self.qps:
+            vlid = vqp.vpd.vcontext.vlid
+            entries[f"qp:{vlid}/{vqp.qp_num}"] = {
+                "pd": _pd_key(vqp.vpd.guid), "qpn": vqp.real.qp_num}
+        for vmr in self.mrs:
+            entries[f"mr:{_pd_key(vmr.vpd.guid)}:{vmr.rkey}"] = \
+                vmr.real.rkey
+        return entries
+
+    def ns_receive(self, db: Dict[str, Any]) -> None:
+        if self.delegated:
+            self.fallback.ns_receive(db)
+            return
+        self.db = db
+        self._remote_real_to_vqpn = {
+            info["qpn"]: int(key.split("/", 1)[1])
+            for key, info in db.items() if key.startswith("qp:")}
+
+    # -- restart phase 2: replay (Principles 3 and 6) ------------------------------------------
+
+    def _restart_replay(self) -> None:
+        if self.delegated:
+            self.fallback.restart_replay()
+            return
+        for vqp in self.qps:
+            for attr, mask in vqp.modify_log:
+                self.real_lib.modify_qp(
+                    vqp.real, self.translate_qp_attr(attr, mask, vqp), mask)
+                self.stats["replayed_modifies"] += 1
+        for vsrq in self.srqs:
+            for entry in vsrq.recv_log:
+                self.real_lib.post_srq_recv(
+                    vsrq.real, self.wrapped._translate_recv_wr(entry.wr))
+                self.stats["reposted_recvs"] += 1
+        for vqp in self.qps:
+            for entry in vqp.recv_log:
+                vqp.context.real_ops.post_recv(
+                    vqp.real, self.wrapped._translate_recv_wr(entry.wr))
+                self.stats["reposted_recvs"] += 1
+        for vqp in self.qps:
+            for entry in vqp.send_log:
+                vqp.context.real_ops.post_send(
+                    vqp.real,
+                    self.wrapped._translate_send_wr(vqp, entry.wr))
+                self.stats["reposted_sends"] += 1
+        for vcq in self.cqs:
+            if vcq.private_queue and vcq.pending_notify is not None \
+                    and not vcq.pending_notify.triggered:
+                evt, vcq.pending_notify = vcq.pending_notify, None
+                evt.succeed()
+            elif vcq.pending_notify is not None:
+                self._chain_notify(vcq)  # re-arm on the new real CQ

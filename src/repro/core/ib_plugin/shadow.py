@@ -1,0 +1,179 @@
+"""Shadow (virtual) structs — paper §3.1, Principle 1.
+
+The application is never shown a pointer to a real InfiniBand resource.
+Each virtual struct mirrors the user-visible fields of its real counterpart
+(with *virtual* ids), records the creation parameters needed to re-create a
+semantically equivalent resource on restart, and privately points at the
+current real struct.  After a restart the ``real`` pointer is swapped; the
+virtual ids the application cached never change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ...ibverbs.enums import AccessFlags, QpState, QpType
+from ...ibverbs.structs import (
+    ibv_context_ops,
+    ibv_qp_attr,
+    ibv_recv_wr,
+    ibv_send_wr,
+)
+
+__all__ = [
+    "VirtualContext",
+    "VirtualPd",
+    "VirtualMr",
+    "VirtualCq",
+    "VirtualSrq",
+    "VirtualQp",
+    "SendLogEntry",
+    "RecvLogEntry",
+]
+
+
+@dataclass
+class VirtualContext:
+    """Shadow of ibv_context.  ``ops`` holds the *plugin's* function
+    pointers (Principle 2): inline API calls dispatching through this table
+    land in the plugin, which forwards to the saved real pointers."""
+
+    real: Any
+    device_name: str
+    vendor: str
+    ops: ibv_context_ops = field(default_factory=ibv_context_ops)
+    real_ops: Optional[ibv_context_ops] = None  # saved originals
+    vlid: int = 0          # virtual lid: frozen at first query_port
+    real_lid: int = 0
+
+
+@dataclass
+class VirtualPd:
+    real: Any
+    vcontext: VirtualContext
+    guid: Tuple[str, int]  # globally unique pd id: (process name, index)
+
+    @property
+    def context(self) -> VirtualContext:
+        return self.vcontext
+
+
+@dataclass
+class VirtualMr:
+    real: Any
+    vpd: VirtualPd
+    addr: int
+    length: int
+    access: AccessFlags
+    lkey: int   # virtual lkey (== real until first restart)
+    rkey: int   # virtual rkey
+
+    @property
+    def pd(self) -> VirtualPd:
+        return self.vpd
+
+    @property
+    def context(self) -> VirtualContext:
+        return self.vpd.vcontext
+
+
+@dataclass
+class VirtualCq:
+    real: Any
+    vcontext: VirtualContext
+    cqe: int
+    # Principles 4/5: completions drained from the real CQ at checkpoint
+    # time, served back to the application before any real poll
+    private_queue: List[Any] = field(default_factory=list)
+    # a pending blocking-wait event (wrapped ibv_get_cq_event) to re-arm
+    pending_notify: Any = None
+
+    @property
+    def context(self) -> VirtualContext:
+        return self.vcontext
+
+
+@dataclass
+class SendLogEntry:
+    """A posted send WQE not yet known to be complete (Principle 3)."""
+
+    wr: ibv_send_wr          # with VIRTUAL ids in sges/rkey
+    signaled: bool
+    #: §4: immediate/inline RDMA posts never produce a local completion;
+    #: the drain protocol assumes them complete once the network is quiet
+    assume_complete_on_drain: bool = False
+
+
+@dataclass
+class RecvLogEntry:
+    wr: ibv_recv_wr          # with VIRTUAL lkeys
+
+
+@dataclass
+class VirtualSrq:
+    real: Any
+    vpd: VirtualPd
+    max_wr: int
+    limit: int = 0
+    modify_log: List[int] = field(default_factory=list)  # limits, in order
+    recv_log: List[RecvLogEntry] = field(default_factory=list)
+
+    @property
+    def pd(self) -> VirtualPd:
+        return self.vpd
+
+    @property
+    def context(self) -> VirtualContext:
+        return self.vpd.vcontext
+
+
+@dataclass
+class VirtualQp:
+    """Shadow of ibv_qp (Figure 2): virtual number, logs, creation params."""
+
+    real: Any
+    vpd: VirtualPd
+    qp_num: int              # virtual qp_num (== real until first restart)
+    qp_type: QpType
+    vsend_cq: VirtualCq
+    vrecv_cq: VirtualCq
+    vsrq: Optional[VirtualSrq]
+    sq_sig_all: bool
+    max_send_wr: int = 256
+    max_recv_wr: int = 256
+    max_inline_data: int = 256
+    # Principle 3 logs
+    modify_log: List[Tuple[ibv_qp_attr, Any]] = field(default_factory=list)
+    send_log: List[SendLogEntry] = field(default_factory=list)
+    recv_log: List[RecvLogEntry] = field(default_factory=list)
+    #: remote *virtual* (lid, qp number), captured from the app's
+    #: modify_qp(RTR) call — qp numbers are only unique per HCA, so the
+    #: pub-sub namespace keys pairs, not bare numbers
+    remote_vqpn: Optional[int] = None
+    remote_vlid: Optional[int] = None
+
+    @property
+    def pd(self) -> VirtualPd:
+        return self.vpd
+
+    @property
+    def context(self) -> VirtualContext:
+        return self.vpd.vcontext
+
+    @property
+    def send_cq(self) -> VirtualCq:
+        return self.vsend_cq
+
+    @property
+    def recv_cq(self) -> VirtualCq:
+        return self.vrecv_cq
+
+    @property
+    def srq(self) -> Optional[VirtualSrq]:
+        return self.vsrq
+
+    @property
+    def state(self) -> QpState:
+        """The app may read qp.state; mirror the real struct's."""
+        return self.real.state if self.real is not None else QpState.RESET

@@ -1,0 +1,42 @@
+"""DMTCP-like transparent checkpoint-restart framework (coordinator,
+checkpoint engine, plugin API, image format)."""
+
+from .coordinator import COORD_PORT, Coordinator, CoordinatorClient
+from .costs import CostModel, DEFAULT_COSTS
+from .events import DmtcpEvent
+from .image import CheckpointImage, ImageError
+from .launcher import (
+    AppSpec,
+    CheckpointSet,
+    DmtcpSession,
+    NativeSession,
+    dmtcp_launch,
+    dmtcp_restart,
+    native_launch,
+)
+from .plugin import Plugin, PluginError
+from .process import AppContext, CheckpointRecord, Continuation, DmtcpProcess
+
+__all__ = [
+    "AppContext",
+    "AppSpec",
+    "COORD_PORT",
+    "CheckpointImage",
+    "CheckpointRecord",
+    "CheckpointSet",
+    "Continuation",
+    "Coordinator",
+    "CoordinatorClient",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DmtcpEvent",
+    "DmtcpProcess",
+    "DmtcpSession",
+    "ImageError",
+    "NativeSession",
+    "Plugin",
+    "PluginError",
+    "dmtcp_launch",
+    "dmtcp_restart",
+    "native_launch",
+]

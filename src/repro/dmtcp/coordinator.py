@@ -1,0 +1,191 @@
+"""The DMTCP coordinator.
+
+One coordinator per session, reachable over the Ethernet segment.  It
+provides the global checkpoint barriers, aggregates the distributed drain
+protocol (all nodes keep draining completion queues until a full global
+round sees no new completions anywhere), and hosts the publish/subscribe
+key-value database used to exchange new real ids at restart (§3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..hardware.node import Node
+from ..net.tcp import Connection, TcpStack
+from ..sim import Environment, Event, Store
+
+__all__ = ["Coordinator", "CoordinatorClient"]
+
+COORD_PORT = 7779
+
+
+class _ClientHandle:
+    def __init__(self, conn: Connection, name: str):
+        self.conn = conn
+        self.name = name
+
+
+class Coordinator:
+    """Runs on a (login) node; speaks the client protocol over TCP."""
+
+    def __init__(self, node: Node, port: int = COORD_PORT,
+                 expected_clients: Optional[int] = None):
+        self.node = node
+        self.env: Environment = node.env
+        self.port = port
+        self.stack = TcpStack.of(node)
+        self.listener = self.stack.listen(port)
+        self.clients: List[_ClientHandle] = []
+        self.expected = expected_clients
+        self.db: Dict[str, Any] = {}
+        self._barriers: Dict[str, int] = {}
+        self._drain_reports: List[int] = []
+        self._ckpt_stats: List[dict] = []
+        self._ckpt_done_evt: Optional[Event] = None
+        self._all_connected = self.env.event()
+        self.env.process(self._accept_loop(), name="coord.accept")
+
+    # -- connection handling ------------------------------------------------------
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self.listener.accept()
+            hello = yield conn.recv()
+            assert hello["op"] == "hello", hello
+            handle = _ClientHandle(conn, hello["name"])
+            self.clients.append(handle)
+            if (self.expected is not None
+                    and len(self.clients) == self.expected
+                    and not self._all_connected.triggered):
+                self._all_connected.succeed()
+            self.env.process(self._client_loop(handle),
+                             name=f"coord.client.{handle.name}")
+
+    def wait_all_connected(self) -> Event:
+        return self._all_connected
+
+    def _client_loop(self, client: _ClientHandle) -> Generator:
+        while True:
+            msg = yield client.conn.recv()
+            op = msg["op"]
+            if op == "barrier":
+                yield from self._barrier(msg["id"])
+            elif op == "publish":
+                for key, value in msg["entries"].items():
+                    self.db[key] = value
+            elif op == "query-all":
+                data = {k: v for k, v in self.db.items()
+                        if k.startswith(msg["prefix"])}
+                yield from client.conn.send(
+                    {"op": "query-result", "data": data},
+                    size=128.0 + 64.0 * len(data))
+            elif op == "drain-status":
+                yield from self._drain_status(msg["count"])
+            elif op == "ckpt-done":
+                self._ckpt_stats.append(msg["stats"])
+                if (len(self._ckpt_stats) == self._quorum()
+                        and self._ckpt_done_evt is not None
+                        and not self._ckpt_done_evt.triggered):
+                    self._ckpt_done_evt.succeed(list(self._ckpt_stats))
+            else:  # pragma: no cover - protocol bug
+                raise AssertionError(f"unknown op {op!r}")
+
+    # -- barriers -------------------------------------------------------------------
+
+    def _quorum(self) -> int:
+        return self.expected if self.expected is not None \
+            else len(self.clients)
+
+    def _barrier(self, barrier_id: str) -> Generator:
+        count = self._barriers.get(barrier_id, 0) + 1
+        self._barriers[barrier_id] = count
+        if count == self._quorum():
+            del self._barriers[barrier_id]
+            for client in self.clients:
+                yield from client.conn.send(
+                    {"op": "barrier-release", "id": barrier_id})
+        return
+        yield  # pragma: no cover
+
+    # -- global drain rounds -----------------------------------------------------------
+
+    def _drain_status(self, count: int) -> Generator:
+        self._drain_reports.append(count)
+        if len(self._drain_reports) == self._quorum():
+            done = sum(self._drain_reports) == 0
+            self._drain_reports.clear()
+            for client in self.clients:
+                yield from client.conn.send(
+                    {"op": "drain-verdict", "done": done})
+        return
+        yield  # pragma: no cover
+
+    # -- checkpoint initiation --------------------------------------------------------
+
+    def checkpoint_all(self, intent: str = "resume") -> Generator:
+        """Broadcast a checkpoint request; returns per-process stats once
+        every checkpoint manager reports done."""
+        assert intent in ("resume", "restart")
+        self._ckpt_stats = []
+        self._ckpt_done_evt = self.env.event()
+        for client in self.clients:
+            yield from client.conn.send({"op": "checkpoint",
+                                         "intent": intent})
+        stats = yield self._ckpt_done_evt
+        self._ckpt_done_evt = None
+        return stats
+
+
+class CoordinatorClient:
+    """The checkpoint-manager side of the protocol (lives in each process).
+
+    The manager thread owns the connection: pushed requests ("checkpoint")
+    and protocol replies arrive on the same ordered stream, exactly like
+    DMTCP's checkpoint-thread socket.
+    """
+
+    def __init__(self, env: Environment, conn: Connection, name: str):
+        self.env = env
+        self.conn = conn
+        self.name = name
+
+    @classmethod
+    def connect(cls, node: Node, coord_host: str, port: int,
+                name: str) -> Generator:
+        stack = TcpStack.of(node)
+        conn = yield from stack.connect(coord_host, port)
+        yield from conn.send({"op": "hello", "name": name})
+        return cls(node.env, conn, name)
+
+    def recv(self):
+        return self.conn.recv()
+
+    def barrier(self, barrier_id: str) -> Generator:
+        yield from self.conn.send({"op": "barrier", "id": barrier_id})
+        while True:
+            msg = yield self.conn.recv()
+            if msg["op"] == "barrier-release" and msg["id"] == barrier_id:
+                return
+            raise AssertionError(f"unexpected {msg} while in barrier")
+
+    def publish(self, entries: Dict[str, Any]) -> Generator:
+        yield from self.conn.send({"op": "publish", "entries": entries},
+                                  size=128.0 + 64.0 * len(entries))
+
+    def query_all(self, prefix: str) -> Generator:
+        yield from self.conn.send({"op": "query-all", "prefix": prefix})
+        msg = yield self.conn.recv()
+        assert msg["op"] == "query-result", msg
+        return msg["data"]
+
+    def drain_status(self, count: int) -> Generator:
+        """Report this round's completion count; returns True when the
+        coordinator declares the network globally quiet."""
+        yield from self.conn.send({"op": "drain-status", "count": count})
+        msg = yield self.conn.recv()
+        assert msg["op"] == "drain-verdict", msg
+        return msg["done"]
+
+    def ckpt_done(self, stats: dict) -> Generator:
+        yield from self.conn.send({"op": "ckpt-done", "stats": stats})

@@ -1,0 +1,24 @@
+"""Plugin event hooks (the DMTCP 2.x plugin event model, reduced to the
+events the InfiniBand work uses)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DmtcpEvent"]
+
+
+class DmtcpEvent(enum.Enum):
+    """Events delivered to plugins, in protocol order."""
+
+    INIT = "init"                    # plugin installed into the process
+    PRESUSPEND = "presuspend"        # before user threads are quiesced
+    SUSPEND = "suspend"              # user threads are quiesced
+    PRECHECKPOINT = "precheckpoint"  # drain phase (network quiescing)
+    WRITE_CKPT = "write-ckpt"        # contribute state to the image
+    RESUME = "resume"                # original process continues
+    RESTART = "restart"              # fresh process restored from an image
+    RESTART_REPLAY = "restart-replay"  # after the ns exchange: replay logs
+    REGISTER_NAME_SERVICE_DATA = "ns-register"   # publish ids
+    SEND_QUERIES = "ns-query"                    # query ids after barrier
+    THREAD_RESUME = "thread-resume"  # user threads about to run again

@@ -1,0 +1,229 @@
+"""dmtcp_launch / dmtcp_restart analogues, plus a plugin-free native
+launcher for baseline timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..hardware.cluster import Cluster
+from ..sim import Environment
+from .coordinator import COORD_PORT, Coordinator
+from .costs import CostModel, DEFAULT_COSTS
+from .image import CheckpointImage
+from .process import AppContext, CheckpointRecord, Continuation, DmtcpProcess
+
+__all__ = [
+    "AppSpec",
+    "CheckpointSet",
+    "DmtcpSession",
+    "dmtcp_launch",
+    "dmtcp_restart",
+    "native_launch",
+    "NativeSession",
+]
+
+
+@dataclass
+class AppSpec:
+    """One process to launch: which node, its name/rank, and its code."""
+
+    node_index: int
+    name: str
+    factory: Callable[[AppContext], Generator]
+    rank: int = 0
+
+
+@dataclass
+class CheckpointSet:
+    """A full distributed checkpoint: per-process records + wall time."""
+
+    records: List[CheckpointRecord]
+    wall_seconds: float
+    stats: List[dict]
+
+    @property
+    def total_logical_bytes(self) -> float:
+        return sum(r.image.logical_size for r in self.records)
+
+    def stage_to(self, cluster: Cluster, disk_kind: str = "local",
+                 node_map: Optional[Dict[int, int]] = None) -> None:
+        """Copy image files onto another cluster's filesystems (the offline
+        scp of §6.4; its cost is not part of any measured time)."""
+        for record in self.records:
+            src_node = record.node_index
+            dst_index = (node_map or {}).get(src_node,
+                                             src_node % len(cluster.nodes))
+            dst_disk = cluster.nodes[dst_index].disk(disk_kind)
+            data = record.image.to_bytes()
+            dst_disk.fs.store(record.path, data, record.image.logical_size)
+
+
+class DmtcpSession:
+    """A running dmtcp_launch'd job."""
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 coordinator: Coordinator, procs: List[DmtcpProcess],
+                 costs: CostModel):
+        self.env = env
+        self.cluster = cluster
+        self.coordinator = coordinator
+        self.procs = procs
+        self.costs = costs
+
+    def wait(self) -> Generator:
+        """Process generator: waits for every app to call exit()."""
+        results = []
+        for proc in self.procs:
+            value = yield proc.appctx.done
+            results.append(value)
+        return results
+
+    def start_interval_checkpointing(self, interval: float):
+        """DMTCP's ``--interval``: checkpoint every ``interval`` simulated
+        seconds until the job completes.  Returns the driver process (its
+        value is the list of CheckpointSets taken)."""
+
+        def driver():
+            taken = []
+            all_done = self.env.all_of([p.appctx.done for p in self.procs])
+            while not all_done.triggered:
+                timer = self.env.timeout(interval)
+                yield self.env.any_of([timer, all_done])
+                if all_done.triggered:
+                    break
+                taken.append((yield from self.checkpoint(intent="resume")))
+            return taken
+
+        return self.env.process(driver(), name="dmtcp.interval")
+
+    def checkpoint(self, intent: str = "resume") -> Generator:
+        """Process generator: take a global checkpoint.
+
+        intent="resume"  — processes continue afterwards.
+        intent="restart" — processes stay frozen; returns a CheckpointSet
+        whose continuations dmtcp_restart can revive (tear the cluster down
+        in between to model failure/migration).
+        """
+        t0 = self.env.now
+        stats = yield from self.coordinator.checkpoint_all(intent)
+        wall = self.env.now - t0
+        records = [p.last_record for p in self.procs]
+        if intent == "restart":
+            for proc in self.procs:
+                proc.detach_continuation()
+        return CheckpointSet(records=records, wall_seconds=wall, stats=stats)
+
+
+def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
+                 plugin_factory: Callable[[], list] = lambda: [],
+                 costs: CostModel = DEFAULT_COSTS, gzip: bool = True,
+                 ckpt_dir: str = "/tmp", disk_kind: str = "local",
+                 coord_node_index: int = 0) -> Generator:
+    """Process generator: start a coordinator and all processes under it.
+
+    Every process's library table is populated (ibverbs when the node has
+    an HCA) and then handed to freshly constructed plugins to interpose on.
+    """
+    from ..ibverbs import VerbsLib  # local import to avoid cycles
+
+    env = cluster.env
+    coordinator = Coordinator(cluster.nodes[coord_node_index],
+                              expected_clients=len(specs))
+    procs: List[DmtcpProcess] = []
+    world = len(specs)
+    launch_events = []
+    for spec in specs:
+        node = cluster.nodes[spec.node_index]
+        host = node.fork(spec.name)
+        host.libs["ibverbs"] = VerbsLib(host)
+        plugins = plugin_factory()
+        proc = DmtcpProcess(host, spec.name, spec.rank, world, plugins,
+                            costs=costs, gzip=gzip, ckpt_dir=ckpt_dir,
+                            disk_kind=disk_kind,
+                            node_index=spec.node_index)
+        procs.append(proc)
+        launch_events.append(env.process(
+            proc.launch(coordinator.node.name, coordinator.port,
+                        spec.factory),
+            name=f"launch.{spec.name}"))
+    yield env.all_of(launch_events)
+    return DmtcpSession(env, cluster, coordinator, procs, costs)
+
+
+def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
+                  costs: CostModel = DEFAULT_COSTS,
+                  disk_kind: str = "local",
+                  node_map: Optional[Dict[int, int]] = None,
+                  coord_node_index: int = 0,
+                  stage_images: bool = True) -> Generator:
+    """Process generator: restart a CheckpointSet on ``cluster`` (the same
+    one or a different one — different LIDs, different qp_nums, possibly a
+    different kernel or no InfiniBand at all)."""
+    from ..ibverbs import VerbsLib
+
+    env = cluster.env
+    if stage_images:
+        ckpt_set.stage_to(cluster, disk_kind, node_map)
+    coordinator = Coordinator(cluster.nodes[coord_node_index],
+                              expected_clients=len(ckpt_set.records))
+    procs_by_name: Dict[str, DmtcpProcess] = {}
+    flows = []
+    for record in ckpt_set.records:
+        dst_index = (node_map or {}).get(
+            record.node_index, record.node_index % len(cluster.nodes))
+        node = cluster.nodes[dst_index]
+        host = node.fork(record.name)
+        host.libs["ibverbs"] = VerbsLib(host)
+
+        def flow(record=record, host=host, node=node):
+            disk = node.disk(disk_kind)
+            data = yield from disk.read(record.path)
+            image = CheckpointImage.from_bytes(data)
+            proc = DmtcpProcess.restart(
+                host, record, image, costs,
+                coordinator.node.name, coordinator.port,
+                disk_kind=disk_kind)
+            procs_by_name[record.name] = proc
+            yield from proc.restart_flow(coordinator.node.name,
+                                         coordinator.port)
+
+        flows.append(env.process(flow(), name=f"restart.{record.name}"))
+    yield env.all_of(flows)
+    procs = [procs_by_name[r.name] for r in ckpt_set.records]
+    return DmtcpSession(env, cluster, coordinator, procs, costs)
+
+
+@dataclass
+class NativeSession:
+    """A job launched without any checkpointer (baseline timing)."""
+
+    env: Environment
+    appctxs: List[AppContext]
+
+    def wait(self) -> Generator:
+        results = []
+        for ctx in self.appctxs:
+            value = yield ctx.done
+            results.append(value)
+        return results
+
+
+def native_launch(cluster: Cluster, specs: Sequence[AppSpec]) -> NativeSession:
+    """Launch processes natively: no coordinator, no wrappers, no taxes."""
+    from ..ibverbs import VerbsLib
+
+    appctxs = []
+    for spec in specs:
+        node = cluster.nodes[spec.node_index]
+        host = node.fork(spec.name)
+        host.libs["ibverbs"] = VerbsLib(host)
+        ctx = AppContext(host, spec.name, spec.rank, len(specs))
+
+        def main(ctx=ctx, factory=spec.factory):
+            value = yield from factory(ctx)
+            ctx.exit(value)
+
+        host.spawn_thread(main(), name=f"{spec.name}.main")
+        appctxs.append(ctx)
+    return NativeSession(cluster.env, appctxs)

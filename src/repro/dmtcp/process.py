@@ -1,0 +1,316 @@
+"""Per-process checkpoint machinery: the application context, the
+checkpoint-manager thread, and the continuation hand-off used at restart.
+
+The *continuation* (the live user-thread generators plus the plugin objects
+and the address space) is the simulation's stand-in for what real DMTCP
+captures as thread stacks + registers + heap: everything those generators
+can observe is either restored memory or virtualized plugin state, so
+resuming them against re-created real resources is exactly the paper's
+transparency claim (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..hardware.node import Node, ProcessHost
+from ..memory import AddressSpace
+from ..sim import Environment, Event, Process
+from .coordinator import CoordinatorClient
+from .costs import CostModel, DEFAULT_COSTS
+from .events import DmtcpEvent
+from .image import CheckpointImage
+from .plugin import Plugin
+
+__all__ = ["AppContext", "DmtcpProcess", "Continuation", "CheckpointRecord"]
+
+
+class AppContext:
+    """What the application code sees: its process, libraries, and clock.
+
+    The ``proc`` binding is swapped at restart (new host, new pid) — but
+    everything the app caches from here (virtual structs, memory regions)
+    stays valid, which is the plugin's whole job.
+    """
+
+    def __init__(self, proc: ProcessHost, name: str, rank: int = 0,
+                 world: int = 1):
+        self.proc = proc
+        self.name = name
+        self.rank = rank
+        self.world = world
+        self.done: Event = proc.env.event()
+        self.restarts = 0
+        # callbacks run after a restart completes (before threads thaw);
+        # runtimes use this to re-create OS resources DMTCP does not
+        # virtualize here (e.g. listening TCP sockets — real DMTCP's
+        # socket plugin, which is prior work and out of scope)
+        self.on_restart: List[Callable[["AppContext"], None]] = []
+
+    @property
+    def env(self) -> Environment:
+        return self.proc.env
+
+    @property
+    def memory(self) -> AddressSpace:
+        return self.proc.memory
+
+    @property
+    def libs(self) -> Dict[str, Any]:
+        return self.proc.libs
+
+    @property
+    def ibv(self):
+        return self.proc.libs["ibverbs"]
+
+    def compute(self, flops: float = 0.0, seconds: float = 0.0):
+        return self.proc.compute(flops=flops, seconds=seconds)
+
+    def sleep(self, seconds: float):
+        return self.env.timeout(seconds)
+
+    def exit(self, value: Any = None) -> None:
+        if not self.done.triggered:
+            self.done.succeed(value)
+
+
+@dataclass
+class Continuation:
+    """The unpicklable half of a checkpoint: live generators + plugins."""
+
+    name: str
+    rank: int
+    appctx: AppContext
+    user_threads: List[Process]
+    plugins: List[Plugin]
+    memory: AddressSpace
+
+
+@dataclass
+class CheckpointRecord:
+    """Where one process's image landed, plus its continuation."""
+
+    name: str
+    rank: int
+    node_index: int
+    path: str
+    disk_kind: str
+    image: CheckpointImage
+    continuation: Continuation
+    ckpt_seconds: float = 0.0
+
+
+class DmtcpProcess:
+    """One application process running under dmtcp_launch."""
+
+    def __init__(self, host: ProcessHost, name: str, rank: int, world: int,
+                 plugins: List[Plugin], costs: CostModel = DEFAULT_COSTS,
+                 gzip: bool = True, ckpt_dir: str = "/tmp",
+                 disk_kind: str = "local", node_index: int = 0):
+        self.host = host
+        self.env = host.env
+        self.name = name
+        self.rank = rank
+        self.world = world
+        self.plugins = plugins
+        self.costs = costs
+        self.gzip = gzip
+        self.ckpt_dir = ckpt_dir
+        self.disk_kind = disk_kind
+        self.node_index = node_index
+        self.appctx = AppContext(host, name, rank, world)
+        self.user_threads: List[Process] = []
+        self.client: Optional[CoordinatorClient] = None
+        self.manager: Optional[Process] = None
+        self.last_record: Optional[CheckpointRecord] = None
+        host.compute_tax = costs.compute_tax
+
+    # -- launch ------------------------------------------------------------------
+
+    def launch(self, coord_host: str, coord_port: int,
+               app_factory: Callable[[AppContext], Generator]) -> Generator:
+        """Process generator: connect to the coordinator, install plugins,
+        start the app (run by dmtcp_launch)."""
+        self.client = yield from CoordinatorClient.connect(
+            self.host.node, coord_host, coord_port, self.name)
+        # interposition warm-up: wrapper installation, /proc scan, handshake
+        yield self.host.compute(
+            seconds=self.costs.startup_overhead(self.world))
+        for plugin in self.plugins:
+            plugin.install(self.appctx)
+            plugin.event(DmtcpEvent.INIT)
+        main = self.host.spawn_thread(
+            self._app_main(app_factory), name=f"{self.name}.main")
+        self.user_threads.append(main)
+        self.manager = self.host.spawn_thread(
+            self._manager(), name=f"{self.name}.ckptmgr")
+
+    def _app_main(self, app_factory) -> Generator:
+        value = yield from app_factory(self.appctx)
+        self.appctx.exit(value)
+        return value
+
+    # -- checkpoint manager thread ---------------------------------------------------
+
+    def _manager(self) -> Generator:
+        while True:
+            msg = yield self.client.recv()
+            if msg["op"] == "checkpoint":
+                yield from self._do_checkpoint(msg["intent"])
+            else:  # pragma: no cover - protocol bug
+                raise AssertionError(f"ckptmgr got {msg}")
+
+    def _do_checkpoint(self, intent: str) -> Generator:
+        t0 = self.env.now
+        # 1. quiesce user threads — every live thread of the process except
+        # the checkpoint manager itself (runtimes spawn helpers: progress
+        # engines, rendezvous puts, accept loops)
+        self.user_threads = [t for t in self.host.threads
+                             if t is not self.manager and t.is_alive]
+        for plugin in self.plugins:
+            plugin.event(DmtcpEvent.PRESUSPEND)
+        for thread in self.user_threads:
+            if thread.is_alive:
+                thread.suspend()
+        for plugin in self.plugins:
+            plugin.event(DmtcpEvent.SUSPEND)
+        yield from self.client.barrier("suspended")
+
+        # 2. drain the completion queues until the whole job is quiet
+        #    (§3 Principle 4 + §4 settle loop, made global via coordinator)
+        for plugin in self.plugins:
+            plugin.event(DmtcpEvent.PRECHECKPOINT)
+        while True:
+            count = 0
+            for plugin in self.plugins:
+                count += plugin.drain_round()
+            yield self.env.timeout(self.costs.drain_settle)
+            for plugin in self.plugins:
+                count += plugin.drain_round()
+            done = yield from self.client.drain_status(count)
+            if done:
+                break
+
+        # 3. write the image
+        for plugin in self.plugins:
+            plugin.event(DmtcpEvent.WRITE_CKPT)
+        hca_vendor = None
+        for plugin in self.plugins:
+            hca_vendor = plugin.image_metadata().get("hca_vendor",
+                                                     hca_vendor)
+        image = CheckpointImage.capture(
+            proc_name=self.name, pid=self.host.pid,
+            kernel_version=self.host.node.kernel_version,
+            hca_vendor=hca_vendor, memory=self.host.memory,
+            gzip=self.gzip, header_bytes=self.costs.image_header_bytes)
+        disk = self.host.node.disk(self.disk_kind)
+        path = f"{self.ckpt_dir}/ckpt_{self.name}.dmtcp"
+        data = image.to_bytes()
+        # dynamic gzip pipes through the writer: the pipeline stalls the
+        # write stream by bw_disk/bw_gzip (Table 5's ~4% gzip cost)
+        logical = image.logical_size
+        if self.gzip:
+            logical *= 1.0 + self.costs.gzip_stall
+        yield from disk.write(path, data, logical_size=logical)
+        yield from self.client.barrier("written")
+
+        ckpt_seconds = self.env.now - t0
+        self.last_record = CheckpointRecord(
+            name=self.name, rank=self.rank, node_index=self.node_index,
+            path=path, disk_kind=self.disk_kind, image=image,
+            continuation=Continuation(
+                name=self.name, rank=self.rank, appctx=self.appctx,
+                user_threads=list(self.user_threads), plugins=self.plugins,
+                memory=self.host.memory),
+            ckpt_seconds=ckpt_seconds)
+        yield from self.client.ckpt_done(
+            {"name": self.name, "node": self.host.node.name,
+             "ckpt_seconds": ckpt_seconds,
+             "image_logical_bytes": image.logical_size,
+             "image_real_bytes": float(len(data))})
+
+        # 4. resume, or stay frozen for the restart flow
+        if intent == "resume":
+            for plugin in self.plugins:
+                plugin.event(DmtcpEvent.RESUME)
+                plugin.event(DmtcpEvent.THREAD_RESUME)
+            for thread in self.user_threads:
+                if thread.is_alive:
+                    thread.unsuspend()
+
+    # -- restart ------------------------------------------------------------------
+
+    def detach_continuation(self) -> Continuation:
+        """Remove the user threads from the host so a cluster teardown
+        kills everything *except* the frozen computation (whose state is,
+        conceptually, in the image)."""
+        cont = self.last_record.continuation
+        for thread in cont.user_threads:
+            if thread in self.host.threads:
+                self.host.threads.remove(thread)
+        return cont
+
+    @classmethod
+    def restart(cls, host: ProcessHost, record: CheckpointRecord,
+                image: CheckpointImage, costs: CostModel,
+                coord_host: str, coord_port: int,
+                disk_kind: str = "local") -> "DmtcpProcess":
+        """Build the restarted process object (dmtcp_restart runs
+        :meth:`restart_flow` on it afterwards)."""
+        cont = record.continuation
+        proc = cls(host, name=cont.name, rank=cont.rank,
+                   world=cont.appctx.world, plugins=cont.plugins,
+                   costs=costs, gzip=image.gzip, disk_kind=disk_kind,
+                   node_index=record.node_index)
+        # the restored process lives at the original virtual addresses:
+        # adopt the old address space and overwrite it with image bytes
+        image.restore_memory(cont.memory)
+        host.memory = cont.memory
+        proc.appctx = cont.appctx
+        proc.appctx.proc = host
+        proc.appctx.restarts += 1
+        proc.user_threads = cont.user_threads
+        proc.last_record = record
+        return proc
+
+    def restart_flow(self, coord_host: str, coord_port: int) -> Generator:
+        """Process generator: the RESTART protocol (hooks + ns exchange)."""
+        self.client = yield from CoordinatorClient.connect(
+            self.host.node, coord_host, coord_port, self.name)
+        # mtcp_restart process bring-up (constant, image-size-independent)
+        yield self.host.compute(seconds=self.costs.restart_base)
+        # phase 1: recreate local resources (new real ids)
+        for plugin in self.plugins:
+            plugin.event(DmtcpEvent.RESTART)
+        # publish new real ids, global barrier, fetch everyone's
+        entries: Dict[str, Any] = {}
+        for plugin in self.plugins:
+            for key, value in plugin.ns_publish().items():
+                entries[f"{plugin.name}:{key}"] = value
+        # the process's new hostname, for runtimes whose out-of-band
+        # directories went stale with the old cluster
+        entries[f"__host:{self.name}"] = self.host.node.name
+        yield from self.client.publish(entries)
+        yield from self.client.barrier("restart-ns")
+        db = yield from self.client.query_all("")
+        self.appctx.restart_db = db
+        for plugin in self.plugins:
+            prefix = f"{plugin.name}:"
+            plugin.ns_receive({k[len(prefix):]: v for k, v in db.items()
+                               if k.startswith(prefix)})
+        # phase 2: replay logs against the re-created resources
+        for plugin in self.plugins:
+            plugin.event(DmtcpEvent.RESTART_REPLAY)
+        yield from self.client.barrier("restart-done")
+        for plugin in self.plugins:
+            plugin.event(DmtcpEvent.THREAD_RESUME)
+        for hook in self.appctx.on_restart:
+            hook(self.appctx)
+        # adopt and thaw the continuation's threads
+        for thread in self.user_threads:
+            if thread.is_alive:
+                self.host.threads.append(thread)
+                thread.unsuspend()
+        self.manager = self.host.spawn_thread(
+            self._manager(), name=f"{self.name}.ckptmgr")

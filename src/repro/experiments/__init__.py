@@ -1,0 +1,64 @@
+"""Experiment harness: one module per table in the paper's evaluation.
+
+Run everything (quick configuration) with::
+
+    python -m repro.experiments
+
+or regenerate a single table::
+
+    from repro.experiments import table4
+    table4.run().print()
+"""
+
+from . import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from .runner import Outcome, run_nas, run_upc_nas
+from .tables import Table
+
+__all__ = [
+    "Outcome",
+    "Table",
+    "run_all",
+    "run_nas",
+    "run_upc_nas",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+]
+
+
+def run_all(full: bool = False, max_procs: int = 256):
+    """Regenerate every table; returns them in paper order.
+
+    ``full`` enables the 1,024/2,048-process configurations (several
+    wall-clock minutes each)."""
+    if full:
+        max_procs = 2048
+    t1 = table1.run(max_procs=max_procs)
+    tables = [
+        t1,
+        table2.run(table1=t1),
+        table3.run(full=full),
+        table4.run(),
+        table5.run(full=full),
+        table6.run(),
+        table7.run(),
+        table8.run(),
+        table9.run(),
+    ]
+    return tables

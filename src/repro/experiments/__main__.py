@@ -1,0 +1,48 @@
+"""``python -m repro.experiments [--full] [--max-procs N] [--table K]``"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import run_all
+from . import (table1, table2, table3, table4, table5, table6, table7,
+               table8, table9)
+
+_TABLES = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5,
+           6: table6, 7: table7, 8: table8, 9: table9}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation tables")
+    parser.add_argument("--full", action="store_true",
+                        help="include the 1024/2048-process configurations")
+    parser.add_argument("--max-procs", type=int, default=256,
+                        help="cap Table 1/2 process counts (default 256)")
+    parser.add_argument("--table", type=int, choices=sorted(_TABLES),
+                        help="regenerate a single table")
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    if args.table:
+        module = _TABLES[args.table]
+        if args.table in (1, 2):
+            table = module.run(max_procs=(2048 if args.full
+                                          else args.max_procs))
+        elif args.table in (3, 5):
+            table = module.run(full=args.full)
+        else:
+            table = module.run()
+        print(table.format())
+    else:
+        for table in run_all(full=args.full, max_procs=args.max_procs):
+            print(table.format())
+            print()
+    print(f"[done in {time.time() - t0:.1f}s wall]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

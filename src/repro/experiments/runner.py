@@ -1,0 +1,204 @@
+"""Shared machinery for the per-table experiment modules: launch a NAS
+workload natively / under DMTCP / under the BLCR-based CRS, optionally
+checkpoint (and restart), and collect the quantities the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..blcr import ompi_crs_launch
+from ..core import Ib2TcpPlugin, InfinibandPlugin
+from ..dmtcp import (
+    CheckpointSet,
+    CostModel,
+    DEFAULT_COSTS,
+    dmtcp_launch,
+    dmtcp_restart,
+    native_launch,
+)
+from ..hardware import Cluster, HardwareSpec
+from ..mpi import make_mpi_specs
+from ..sim import Environment
+from ..upc import make_upc_specs
+
+__all__ = ["Outcome", "run_nas", "run_upc_nas"]
+
+MB = 1e6
+
+
+@dataclass
+class Outcome:
+    """Everything a table row might need from one run."""
+
+    runtime: float = 0.0            # projected full-benchmark runtime (s)
+    checksum: float = 0.0
+    ckpt_seconds: float = 0.0       # wall time of the global checkpoint
+    ckpt_image_mb: float = 0.0      # logical image size per process (MB)
+    restart_seconds: float = 0.0
+    results: List[Any] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return len({r.checksum for r in self.results}) <= 1
+
+
+def _wrap_kwargs(app, app_kwargs):
+    def wrapped(ctx, comm):
+        result = yield from app(ctx, comm, **(app_kwargs or {}))
+        return result
+
+    return wrapped
+
+
+def run_nas(app: Callable, spec: HardwareSpec, nprocs: int,
+            ppn: Optional[int] = None, under: str = "native",
+            app_kwargs: Optional[dict] = None,
+            checkpoint_after: Optional[float] = None,
+            restart: bool = False, disk_kind: str = "local",
+            gzip: bool = True, costs: CostModel = DEFAULT_COSTS,
+            ib2tcp: bool = False, transport: str = "ib",
+            seed_name: str = "") -> Outcome:
+    """Run one NAS/MPI configuration end to end; returns an Outcome.
+
+    ``under``: "native" (no checkpointer), "dmtcp" (coordinator + IB
+    plugin), or "blcr" (Open MPI CRS + BLCR baseline).
+    ``checkpoint_after``: simulated seconds after the *loop start proxy*
+    (launch + a margin) at which to take one checkpoint.
+    ``restart``: checkpoint with intent=restart, tear the cluster down,
+    restart on a fresh identical cluster, and keep timing there.
+    """
+    env = Environment()
+    n_nodes = max(1, -(-nprocs // (ppn or spec.cores_per_node)))
+    cluster = Cluster(env, spec, n_nodes=n_nodes,
+                      name=seed_name or f"{spec.name}-{nprocs}-{under}")
+    specs = make_mpi_specs(cluster, nprocs, _wrap_kwargs(app, app_kwargs),
+                           ppn=ppn or spec.cores_per_node,
+                           transport=transport)
+    outcome = Outcome()
+
+    if under == "native":
+        session = native_launch(cluster, specs)
+        results = env.run(until=env.process(session.wait()))
+    elif under == "blcr":
+        crs = ompi_crs_launch(cluster, specs, costs=costs)
+
+        def blcr_scenario():
+            if checkpoint_after is not None:
+                yield env.timeout(costs.crs_startup + checkpoint_after)
+                stats = yield from crs.checkpoint()
+                outcome.ckpt_seconds = stats.wall_seconds
+                outcome.ckpt_image_mb = (stats.total_logical_bytes
+                                         / len(specs) / MB)
+                outcome.extra["filem_seconds"] = stats.filem_seconds
+            return (yield from crs.wait())
+
+        results = env.run(until=env.process(blcr_scenario()))
+    elif under == "dmtcp":
+        plugin_factory = (
+            (lambda: [InfinibandPlugin(costs=costs,
+                                       fallback=Ib2TcpPlugin())])
+            if ib2tcp else
+            (lambda: [InfinibandPlugin(costs=costs)]))
+        session = env.run(until=env.process(dmtcp_launch(
+            cluster, specs, plugin_factory=plugin_factory, costs=costs,
+            gzip=gzip, disk_kind=disk_kind)))
+
+        def dmtcp_scenario():
+            if checkpoint_after is not None:
+                margin = costs.startup_overhead(nprocs) + 0.5
+                yield env.timeout(margin + checkpoint_after)
+                if restart:
+                    ckpt = yield from session.checkpoint(intent="restart")
+                    outcome.ckpt_seconds = ckpt.wall_seconds
+                    outcome.ckpt_image_mb = (ckpt.total_logical_bytes
+                                             / len(ckpt.records) / MB)
+                    cluster.teardown()
+                    cluster2 = Cluster(
+                        env, spec, n_nodes=n_nodes,
+                        name=f"{cluster.name}-restarted")
+                    t0 = env.now
+                    session2 = yield from dmtcp_restart(
+                        cluster2, ckpt, costs=costs, disk_kind=disk_kind)
+                    outcome.restart_seconds = env.now - t0
+                    return (yield from session2.wait())
+                ckpt = yield from session.checkpoint(intent="resume")
+                outcome.ckpt_seconds = ckpt.wall_seconds
+                outcome.ckpt_image_mb = (ckpt.total_logical_bytes
+                                         / len(ckpt.records) / MB)
+            return (yield from session.wait())
+
+        results = env.run(until=env.process(dmtcp_scenario()))
+    else:
+        raise ValueError(f"unknown under={under!r}")
+
+    outcome.results = results
+    outcome.runtime = max(r.projected_runtime() for r in results)
+    outcome.checksum = results[0].checksum
+    return outcome
+
+
+def run_upc_nas(app: Callable, spec: HardwareSpec, threads: int,
+                ppn: Optional[int] = None, under: str = "native",
+                app_kwargs: Optional[dict] = None,
+                checkpoint_after: Optional[float] = None,
+                restart: bool = False,
+                costs: CostModel = DEFAULT_COSTS,
+                segment_bytes: int = 1 << 20,
+                segment_logical: Optional[float] = None) -> Outcome:
+    """UPC variant of :func:`run_nas` (native or under DMTCP).
+
+    ``segment_logical``: bytes the per-thread UPC shared segment stands
+    for (Berkeley UPC pre-allocates the whole shared heap, so checkpoint
+    images are segment-sized)."""
+    env = Environment()
+    n_nodes = max(1, -(-threads // (ppn or spec.cores_per_node)))
+    cluster = Cluster(env, spec, n_nodes=n_nodes,
+                      name=f"{spec.name}-upc{threads}-{under}")
+
+    def wrapped(ctx, upc):
+        result = yield from app(ctx, upc, **(app_kwargs or {}))
+        return result
+
+    segment_scale = (max(1.0, segment_logical / segment_bytes)
+                     if segment_logical else 1.0)
+    specs = make_upc_specs(cluster, threads, wrapped,
+                           segment_bytes=segment_bytes,
+                           segment_scale=segment_scale,
+                           ppn=ppn or spec.cores_per_node)
+    outcome = Outcome()
+    if under == "native":
+        session = native_launch(cluster, specs)
+        results = env.run(until=env.process(session.wait()))
+    else:
+        session = env.run(until=env.process(dmtcp_launch(
+            cluster, specs,
+            plugin_factory=lambda: [InfinibandPlugin(costs=costs)],
+            costs=costs)))
+
+        def scenario():
+            if checkpoint_after is not None:
+                yield env.timeout(costs.startup_overhead(threads) + 0.5
+                                  + checkpoint_after)
+                intent = "restart" if restart else "resume"
+                ckpt = yield from session.checkpoint(intent=intent)
+                outcome.ckpt_seconds = ckpt.wall_seconds
+                outcome.ckpt_image_mb = (ckpt.total_logical_bytes
+                                         / len(ckpt.records) / MB)
+                if restart:
+                    cluster.teardown()
+                    cluster2 = Cluster(env, spec, n_nodes=n_nodes,
+                                       name=f"{cluster.name}-restarted")
+                    t0 = env.now
+                    session2 = yield from dmtcp_restart(cluster2, ckpt,
+                                                        costs=costs)
+                    outcome.restart_seconds = env.now - t0
+                    return (yield from session2.wait())
+            return (yield from session.wait())
+
+        results = env.run(until=env.process(scenario()))
+    outcome.results = results
+    outcome.runtime = max(r.projected_runtime() for r in results)
+    outcome.checksum = results[0].checksum
+    return outcome

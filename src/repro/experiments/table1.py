@@ -1,0 +1,50 @@
+"""Table 1: scalability of the InfiniBand plugin — NAS LU native vs under
+DMTCP, classes C/D/E, 64 to 2,048 processes (16 cores/node, MGHPCC)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..apps.nas import lu_app
+from ..hardware import MGHPCC
+from .runner import run_nas
+from .tables import Table
+
+__all__ = ["PAPER", "CONFIGS", "run"]
+
+#: (class, nprocs) -> (native runtime, runtime with DMTCP) from the paper
+PAPER: Dict[Tuple[str, int], Tuple[float, float]] = {
+    ("C", 64): (18.5, 21.7), ("C", 128): (11.5, 16.1),
+    ("C", 256): (7.7, 12.8), ("C", 512): (6.6, 11.9),
+    ("C", 1024): (6.2, 13.0),
+    ("D", 64): (292.6, 298.0), ("D", 128): (154.9, 161.6),
+    ("D", 256): (89.0, 94.8), ("D", 512): (53.2, 61.3),
+    ("D", 1024): (30.5, 39.6), ("D", 2048): (26.9, 40.3),
+    ("E", 512): (677.2, 691.6), ("E", 1024): (351.6, 364.9),
+    ("E", 2048): (239.3, 256.4),
+}
+
+CONFIGS = list(PAPER)
+
+
+def run(max_procs: int = 512) -> Table:
+    """Regenerate Table 1 up to ``max_procs`` ranks (2,048 needs several
+    wall-clock minutes per run; pass 2048 for the full table)."""
+    table = Table(
+        "Table 1", "NAS LU runtimes natively and with DMTCP (seconds)",
+        ["bench", "procs", "native", "w/DMTCP",
+         "paper-native", "paper-dmtcp"])
+    for (klass, nprocs) in CONFIGS:
+        if nprocs > max_procs:
+            continue
+        native = run_nas(lu_app, MGHPCC, nprocs, ppn=16, under="native",
+                         app_kwargs={"klass": klass})
+        dmtcp = run_nas(lu_app, MGHPCC, nprocs, ppn=16, under="dmtcp",
+                        app_kwargs={"klass": klass})
+        assert native.checksum == dmtcp.checksum, "integrity violated"
+        p_native, p_dmtcp = PAPER[(klass, nprocs)]
+        table.add(f"LU.{klass}", nprocs, native.runtime, dmtcp.runtime,
+                  p_native, p_dmtcp)
+    table.note("runtimes projected from per-iteration-exact scaled runs; "
+               "see EXPERIMENTS.md")
+    return table

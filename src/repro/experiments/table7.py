@@ -1,0 +1,42 @@
+"""Table 7: UPC (non-MPI) checkpointing — NAS FT class B under Berkeley
+UPC over the GASNet ibv conduit, natively and under DMTCP.
+
+BLCR has no row here: it depends on the Open MPI checkpoint-restart
+service, which cannot drive a native UPC job (the paper's point)."""
+
+from __future__ import annotations
+
+from ..apps.nas.upc_ft import upc_ft_app
+from ..hardware import BUFFALO_CCR
+from .runner import run_upc_nas
+from .tables import Table
+
+__all__ = ["PAPER", "run"]
+
+#: threads -> (native, w/DMTCP, ckpt, restart)
+PAPER = {4: (123.5, 124.2, 27.6, 9.7),
+         8: (64.2, 65.1, 21.9, 8.9),
+         16: (34.2, 35.5, 16.3, 7.0)}
+
+
+def run() -> Table:
+    table = Table(
+        "Table 7", "UPC NAS FT.B under DMTCP (no MPI anywhere)",
+        ["threads", "native", "w/DMTCP", "ckpt(s)", "restart(s)",
+         "p-native", "p-dmtcp", "p-ckpt", "p-restart"])
+    for threads, paper_row in PAPER.items():
+        # Berkeley UPC pre-allocates the shared heap: the segment stands
+        # for the FT.B slab plus ~295 MB of runtime-reserved shared space
+        seg_logical = 2.1e9 / threads + 295e6
+        kw = dict(ppn=1, app_kwargs={"klass": "B"},
+                  segment_logical=seg_logical)
+        native = run_upc_nas(upc_ft_app, BUFFALO_CCR, threads,
+                             under="native", **kw)
+        dmtcp = run_upc_nas(upc_ft_app, BUFFALO_CCR, threads,
+                            under="dmtcp", **kw)
+        ck = run_upc_nas(upc_ft_app, BUFFALO_CCR, threads, under="dmtcp",
+                         checkpoint_after=1.0, restart=True, **kw)
+        assert native.checksum == dmtcp.checksum == ck.checksum
+        table.add(threads, native.runtime, dmtcp.runtime, ck.ckpt_seconds,
+                  ck.restart_seconds, *paper_row)
+    return table

@@ -1,0 +1,92 @@
+"""Table 9: NAS LU.A.2 runtime when migrating from InfiniBand to Gigabit
+Ethernet with IB2TCP (paper §6.4.2).  The IB-side plugins are nearly free;
+restarting over Ethernet costs ~67% more runtime on two nodes and ~142%
+more when the whole computation lands on one node."""
+
+from __future__ import annotations
+
+from ..apps.nas import lu_app
+from ..apps.nas.common import NAS, post_restart_rate
+from ..core import Ib2TcpPlugin, InfinibandPlugin
+from ..dmtcp import dmtcp_launch, dmtcp_restart, native_launch
+from ..hardware import Cluster, DEV_CLUSTER, ETHERNET_DEBUG_CLUSTER
+from ..mpi import make_mpi_specs
+from ..sim import Environment
+from .tables import Table
+
+__all__ = ["PAPER", "run"]
+
+#: environment -> paper runtime (s)
+PAPER = {
+    "IB (w/o DMTCP)": 26.61,
+    "DMTCP/IB (w/o IB2TCP)": 27.81,
+    "DMTCP/IB2TCP/IB": 27.38,
+    "DMTCP/IB2TCP/Ethernet (2 nodes)": 45.75,
+    "DMTCP/IB2TCP/Ethernet (1 node)": 66.34,
+}
+
+_ITERS_SIM = 40
+
+
+def _steady_runtime(factory=None, migrate_nodes: int = 0) -> float:
+    """LU.A.2 runtime in one environment ('runtime does not involve the
+    checkpoint and restart times' — migrated rows are projected from the
+    post-restart per-iteration rate)."""
+    env = Environment()
+    cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="t9")
+    specs = make_mpi_specs(
+        cluster, 2, lambda ctx, comm: lu_app(ctx, comm, "A", _ITERS_SIM),
+        ppn=1)
+    spec = NAS[("LU", "A")]
+    if factory is None:
+        session = native_launch(cluster, specs)
+        results = env.run(until=env.process(session.wait()))
+        return max(r.projected_runtime() for r in results)
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, specs, plugin_factory=factory)))
+    if not migrate_nodes:
+        results = env.run(until=env.process(session.wait()))
+        return max(r.projected_runtime() for r in results)
+
+    def scenario():
+        yield env.timeout(1.6)  # a few iterations in
+        ckpt = yield from session.checkpoint(intent="restart")
+        cluster.teardown()
+        debug = Cluster(env, ETHERNET_DEBUG_CLUSTER,
+                        n_nodes=migrate_nodes, name="t9-debug")
+        node_map = None if migrate_nodes == 2 else {0: 0, 1: 0}
+        session2 = yield from dmtcp_restart(debug, ckpt,
+                                            node_map=node_map)
+        t_restarted = env.now
+        results = yield from session2.wait()
+        return results, t_restarted
+
+    results, t_restarted = env.run(until=env.process(scenario()))
+    per_iter = max(post_restart_rate(r.marks, t_restarted)
+                   for r in results)
+    init = min(r.t_init for r in results)
+    return init + per_iter * spec.iterations
+
+
+def run() -> Table:
+    table = Table(
+        "Table 9", "LU.A.2: InfiniBand -> Ethernet migration runtimes",
+        ["environment", "runtime(s)", "paper(s)"])
+    ib2 = lambda: [InfinibandPlugin(fallback=Ib2TcpPlugin())]
+    rows = [
+        ("IB (w/o DMTCP)", _steady_runtime()),
+        ("DMTCP/IB (w/o IB2TCP)",
+         _steady_runtime(lambda: [InfinibandPlugin()])),
+        ("DMTCP/IB2TCP/IB", _steady_runtime(ib2)),
+        ("DMTCP/IB2TCP/Ethernet (2 nodes)",
+         _steady_runtime(ib2, migrate_nodes=2)),
+        ("DMTCP/IB2TCP/Ethernet (1 node)",
+         _steady_runtime(ib2, migrate_nodes=1)),
+    ]
+    for label, runtime in rows:
+        table.add(label, runtime, PAPER[label])
+    two = rows[3][1] / rows[0][1] - 1
+    one = rows[4][1] / rows[0][1] - 1
+    table.note(f"Ethernet overhead: +{100 * two:.0f}% on 2 nodes, "
+               f"+{100 * one:.0f}% on 1 node (paper: +67%/+142%)")
+    return table

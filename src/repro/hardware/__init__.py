@@ -1,0 +1,34 @@
+"""Simulated cluster hardware: nodes, HCAs, networks, storage."""
+
+from .cluster import (
+    BUFFALO_CCR,
+    DEV_CLUSTER,
+    ETHERNET_DEBUG_CLUSTER,
+    MGHPCC,
+    Cluster,
+    HardwareSpec,
+)
+from .hca import HCA, HCAError
+from .network import Network, NetworkError, NetworkPort
+from .node import Node, ProcessError, ProcessHost
+from .storage import Disk, FileSystem, StorageError
+
+__all__ = [
+    "BUFFALO_CCR",
+    "Cluster",
+    "DEV_CLUSTER",
+    "Disk",
+    "ETHERNET_DEBUG_CLUSTER",
+    "FileSystem",
+    "HCA",
+    "HCAError",
+    "HardwareSpec",
+    "MGHPCC",
+    "Network",
+    "NetworkError",
+    "NetworkPort",
+    "Node",
+    "ProcessError",
+    "ProcessHost",
+    "StorageError",
+]

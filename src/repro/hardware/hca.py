@@ -1,0 +1,104 @@
+"""Host Channel Adapter hardware model.
+
+The HCA is deliberately dumb: it owns the id allocators (queue-pair numbers,
+memory keys) whose values *change across restart* — the root problem the
+paper's plugin solves — and it moves packets between the fabric and whatever
+transport engine (the verbs driver layer) registered for each destination
+queue-pair number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+import numpy as np
+
+from ..sim import Environment
+from .network import Network, NetworkPort
+
+__all__ = ["HCA", "HCAError"]
+
+
+class HCAError(RuntimeError):
+    """Invalid hardware operation (bad lid, detached port, ...)."""
+
+
+class HCA:
+    """One adapter board: a fabric port plus id allocators.
+
+    ``vendor`` matters for the paper's §4 limitation: a checkpoint image
+    contains the vendor's user-space driver, so restart requires the same
+    vendor on the new node (until the "future work" stub-driver exists).
+    """
+
+    def __init__(self, env: Environment, name: str, vendor: str,
+                 rng: np.random.Generator):
+        self.env = env
+        self.name = name
+        self.vendor = vendor  # "mlx4" (Mellanox) or "qib" (Intel/QLogic)
+        self.guid = int(rng.integers(1, 2**63))
+        self._rng = rng
+        # qp_nums start from a random per-boot base: two boots of the same
+        # job get different numbers, as on real hardware
+        self._next_qpn = int(rng.integers(0x100, 0x10000))
+        self._next_key = int(rng.integers(0x1000, 2**28))
+        self.lid: Optional[int] = None
+        self.port: Optional[NetworkPort] = None
+        self._qp_rx: Dict[int, Callable[[Any], None]] = {}
+        self.packets_rx = 0
+
+    # -- subnet-manager attachment -------------------------------------------
+
+    def attach(self, fabric: Network, lid: int) -> None:
+        if self.port is not None:
+            raise HCAError(f"{self.name}: already attached")
+        self.lid = lid
+        self.port = fabric.attach(lid, self._rx)
+
+    def detach(self) -> None:
+        if self.port is not None:
+            self.port.detach()
+            self.port = None
+            self.lid = None
+
+    # -- id allocation (the values that change on restart) --------------------
+
+    def alloc_qpn(self) -> int:
+        qpn = self._next_qpn
+        self._next_qpn += int(self._rng.integers(1, 8))
+        return qpn
+
+    def alloc_key(self) -> int:
+        """Allocate an lkey/rkey (unique only per protection domain in real
+        InfiniBand; we allocate from one counter but the plugin must not
+        rely on global uniqueness — see §3.2.2 tests)."""
+        key = self._next_key
+        self._next_key += int(self._rng.integers(1, 16))
+        return key
+
+    # -- packet I/O ------------------------------------------------------------
+
+    def register_qp(self, qpn: int, rx: Callable[[Any], None]) -> None:
+        if qpn in self._qp_rx:
+            raise HCAError(f"{self.name}: qpn {qpn} already registered")
+        self._qp_rx[qpn] = rx
+
+    def unregister_qp(self, qpn: int) -> None:
+        self._qp_rx.pop(qpn, None)
+
+    def hw_send(self, dst_lid: int, packet: dict,
+                size: float) -> Generator:
+        """Process generator: serialize ``size`` logical bytes onto the wire."""
+        if self.port is None:
+            raise HCAError(f"{self.name}: not attached to a fabric")
+        yield from self.port.send(dst_lid, packet, size)
+
+    def _rx(self, packet: dict) -> None:
+        self.packets_rx += 1
+        handler = self._qp_rx.get(packet.get("dst_qpn"))
+        if handler is None:
+            # Reliable-connection packets for a dead QP are dropped by the
+            # hardware (the peer's retry/timeout machinery notices, which we
+            # model as the plugin's re-post on restart).
+            return
+        handler(packet)

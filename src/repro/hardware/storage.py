@@ -1,0 +1,108 @@
+"""Storage devices: per-node local disks and a Lustre-like shared back-end.
+
+Files hold real bytes in an in-memory filesystem (so restart genuinely
+re-reads checkpoint images), while transfer *time* is charged from the
+``logical_size`` a file stands for — this is how scaled-down experiments
+report paper-magnitude checkpoint times (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from ..sim import Environment, Resource
+
+__all__ = ["FileSystem", "Disk", "StorageError"]
+
+
+class StorageError(RuntimeError):
+    """Missing file or invalid storage operation."""
+
+
+@dataclass
+class _File:
+    data: bytes
+    logical_size: float
+
+
+class FileSystem:
+    """A flat in-memory filesystem (shared for Lustre, per-node for disks)."""
+
+    def __init__(self, name: str = "fs"):
+        self.name = name
+        self._files: Dict[str, _File] = {}
+
+    def store(self, path: str, data: bytes, logical_size: float) -> None:
+        self._files[path] = _File(data=data, logical_size=logical_size)
+
+    def load(self, path: str) -> bytes:
+        return self._entry(path).data
+
+    def logical_size(self, path: str) -> float:
+        return self._entry(path).logical_size
+
+    def _entry(self, path: str) -> _File:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise StorageError(f"{self.name}: no such file {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        self._entry(path)
+        del self._files[path]
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(f.data) for f in self._files.values())
+
+
+class Disk:
+    """A block device with seek latency, sequential bandwidth, and a single
+    head (writes from the 16 ranks of one node serialize — the effect behind
+    Table 3's "checkpoint time ∝ total image bytes per node")."""
+
+    def __init__(self, env: Environment, name: str,
+                 write_bandwidth: float, read_bandwidth: float,
+                 latency: float = 5e-3, fs: Optional[FileSystem] = None,
+                 streams: int = 1):
+        self.env = env
+        self.name = name
+        self.write_bandwidth = float(write_bandwidth)
+        self.read_bandwidth = float(read_bandwidth)
+        self.latency = float(latency)
+        self.fs = fs if fs is not None else FileSystem(name)
+        self._head = Resource(env, capacity=streams)
+        self.bytes_written = 0.0  # logical accounting
+        self.bytes_read = 0.0
+
+    def write(self, path: str, data: bytes,
+              logical_size: Optional[float] = None) -> Generator:
+        """Process generator: store ``data``, charging time for
+        ``logical_size`` (defaults to ``len(data)``) at write bandwidth."""
+        size = float(len(data) if logical_size is None else logical_size)
+        yield self._head.request()
+        try:
+            yield self.env.timeout(self.latency + size / self.write_bandwidth)
+            self.fs.store(path, data, size)
+            self.bytes_written += size
+        finally:
+            self._head.release()
+
+    def read(self, path: str) -> Generator:
+        """Process generator: returns the file bytes, charging read time for
+        its logical size."""
+        size = self.fs.logical_size(path)  # raises early if missing
+        yield self._head.request()
+        try:
+            yield self.env.timeout(self.latency + size / self.read_bandwidth)
+            self.bytes_read += size
+            return self.fs.load(path)
+        finally:
+            self._head.release()

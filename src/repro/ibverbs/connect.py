@@ -1,0 +1,61 @@
+"""Connection-establishment helpers (the role librdmacm plays for real
+applications: pure setup convenience, §2.1 — it does not affect
+checkpointability).
+
+``qp_to_init/rtr/rts`` perform the standard modify_qp ladder; every call
+goes through the library's ``modify_qp`` entry point, so a DMTCP plugin
+wrapping the library observes and logs each transition (Principle 3 /
+"record any calls to modify_qp").
+"""
+
+from __future__ import annotations
+
+from .enums import AccessFlags, QpAttrMask, QpState
+from .structs import ibv_qp, ibv_qp_attr
+
+__all__ = ["qp_to_init", "qp_to_rtr", "qp_to_rts", "connect_pair"]
+
+_FULL_ACCESS = (AccessFlags.LOCAL_WRITE | AccessFlags.REMOTE_WRITE
+                | AccessFlags.REMOTE_READ)
+
+
+def qp_to_init(lib, qp: ibv_qp, access: AccessFlags = _FULL_ACCESS) -> None:
+    attr = ibv_qp_attr(qp_state=QpState.INIT, pkey_index=0, port_num=1,
+                       qp_access_flags=access)
+    lib.modify_qp(qp, attr, QpAttrMask.STATE | QpAttrMask.PKEY_INDEX
+                  | QpAttrMask.PORT | QpAttrMask.ACCESS_FLAGS)
+
+
+def qp_to_rtr(lib, qp: ibv_qp, dest_qp_num: int, dlid: int,
+              rq_psn: int = 0) -> None:
+    attr = ibv_qp_attr(qp_state=QpState.RTR, path_mtu=4096,
+                       dest_qp_num=dest_qp_num, dlid=dlid, rq_psn=rq_psn,
+                       max_rd_atomic=1, min_rnr_timer=12)
+    lib.modify_qp(qp, attr, QpAttrMask.STATE | QpAttrMask.PATH_MTU
+                  | QpAttrMask.DEST_QPN | QpAttrMask.AV
+                  | QpAttrMask.RQ_PSN | QpAttrMask.MAX_QP_RD_ATOMIC
+                  | QpAttrMask.MIN_RNR_TIMER)
+
+
+def qp_to_rts(lib, qp: ibv_qp, sq_psn: int = 0) -> None:
+    attr = ibv_qp_attr(qp_state=QpState.RTS, sq_psn=sq_psn, timeout=14,
+                       retry_cnt=7, rnr_retry=7)
+    lib.modify_qp(qp, attr, QpAttrMask.STATE | QpAttrMask.SQ_PSN
+                  | QpAttrMask.TIMEOUT | QpAttrMask.RETRY_CNT
+                  | QpAttrMask.RNR_RETRY)
+
+
+def connect_pair(lib_a, qp_a: ibv_qp, lid_a: int,
+                 lib_b, qp_b: ibv_qp, lid_b: int) -> None:
+    """Bring two RC QPs to RTS, connected to each other.
+
+    Test/bootstrap convenience standing in for an out-of-band exchange of
+    (lid, qp_num); real applications (and our MPI runtime) exchange these
+    ids over TCP as §3.2.1 describes.
+    """
+    qp_to_init(lib_a, qp_a)
+    qp_to_init(lib_b, qp_b)
+    qp_to_rtr(lib_a, qp_a, dest_qp_num=qp_b.qp_num, dlid=lid_b)
+    qp_to_rtr(lib_b, qp_b, dest_qp_num=qp_a.qp_num, dlid=lid_a)
+    qp_to_rts(lib_a, qp_a)
+    qp_to_rts(lib_b, qp_b)

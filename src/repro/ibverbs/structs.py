@@ -1,0 +1,239 @@
+"""Struct models for the verbs API.
+
+The *real* structs (``ibv_context``, ``ibv_pd``, ``ibv_mr``, ``ibv_cq``,
+``ibv_qp``, ``ibv_srq``) carry hidden device-dependent fields — here a
+``_driver_blob`` binding them to one driver session — exactly the property
+(paper §3.1, Principle 1) that makes it unsafe to hand a pre-checkpoint
+struct back to the library after restart.  The verbs library validates the
+blob on every call; a stale struct raises :class:`StaleResourceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .enums import (
+    AccessFlags,
+    QpState,
+    QpType,
+    SendFlags,
+    WcOpcode,
+    WcStatus,
+    WrOpcode,
+)
+
+__all__ = [
+    "VerbsError",
+    "StaleResourceError",
+    "ibv_device",
+    "ibv_context_ops",
+    "ibv_context",
+    "ibv_pd",
+    "ibv_mr",
+    "ibv_cq",
+    "ibv_srq",
+    "ibv_qp",
+    "ibv_sge",
+    "ibv_send_wr",
+    "ibv_recv_wr",
+    "ibv_wc",
+    "ibv_qp_attr",
+    "ibv_qp_init_attr",
+    "ibv_port_attr",
+]
+
+
+class VerbsError(RuntimeError):
+    """Generic verbs-layer failure (errno-style)."""
+
+
+class StaleResourceError(VerbsError):
+    """A real struct from a previous boot/driver session was used — the
+    failure mode Principle 1's shadow structs exist to prevent."""
+
+
+@dataclass
+class ibv_device:
+    """An entry from ibv_get_device_list."""
+
+    name: str            # e.g. "mlx4_0"
+    vendor: str          # "mlx4" | "qib"
+    guid: int
+    hw: Any = None       # the hardware.HCA behind this device
+
+
+@dataclass
+class ibv_context_ops:
+    """The device-dependent function-pointer table (paper Principle 2).
+
+    OFED expands "inline" API functions into calls through these pointers;
+    the plugin interposes by *replacing the pointers*, never the inlines.
+    """
+
+    post_send: Any = None
+    post_recv: Any = None
+    post_srq_recv: Any = None
+    poll_cq: Any = None
+    req_notify_cq: Any = None
+
+
+@dataclass
+class ibv_context:
+    device: ibv_device
+    ops: ibv_context_ops
+    _driver_blob: Any = None  # hidden: driver session cookie
+
+    @property
+    def num_comp_vectors(self) -> int:
+        return 1
+
+
+@dataclass
+class ibv_pd:
+    context: ibv_context
+    handle: int
+    _driver_blob: Any = None
+
+
+@dataclass
+class ibv_mr:
+    context: ibv_context
+    pd: ibv_pd
+    addr: int
+    length: int
+    lkey: int
+    rkey: int
+    access: AccessFlags = AccessFlags.LOCAL_WRITE
+    _driver_blob: Any = None
+
+
+@dataclass
+class ibv_cq:
+    context: ibv_context
+    cqe: int            # capacity
+    _driver_blob: Any = None
+    _hw: Any = None     # hardware completion queue
+
+
+@dataclass
+class ibv_srq:
+    context: ibv_context
+    pd: ibv_pd
+    max_wr: int
+    limit: int = 0
+    _driver_blob: Any = None
+    _hw: Any = None
+
+
+@dataclass
+class ibv_qp:
+    context: ibv_context
+    pd: ibv_pd
+    qp_num: int
+    qp_type: QpType
+    state: QpState
+    send_cq: ibv_cq
+    recv_cq: ibv_cq
+    srq: Optional[ibv_srq] = None
+    sq_sig_all: bool = False
+    cap_max_send_wr: int = 256
+    cap_max_recv_wr: int = 256
+    cap_max_inline_data: int = 256
+    _driver_blob: Any = None
+    _hw: Any = None     # hardware queue pair (transport engine)
+
+
+@dataclass
+class ibv_sge:
+    """Scatter/gather element: a slice of registered memory."""
+
+    addr: int
+    length: int
+    lkey: int
+
+
+@dataclass
+class ibv_send_wr:
+    wr_id: int
+    sg_list: List[ibv_sge]
+    opcode: WrOpcode
+    send_flags: SendFlags = SendFlags.SIGNALED
+    imm_data: Optional[int] = None
+    # RDMA-only fields (wr.rdma.*)
+    remote_addr: int = 0
+    rkey: int = 0
+    # filled for INLINE sends at post time
+    _inline_data: Optional[bytes] = None
+
+    def copy(self) -> "ibv_send_wr":
+        return ibv_send_wr(
+            wr_id=self.wr_id, sg_list=list(self.sg_list), opcode=self.opcode,
+            send_flags=self.send_flags, imm_data=self.imm_data,
+            remote_addr=self.remote_addr, rkey=self.rkey,
+            _inline_data=self._inline_data)
+
+
+@dataclass
+class ibv_recv_wr:
+    wr_id: int
+    sg_list: List[ibv_sge]
+
+    def copy(self) -> "ibv_recv_wr":
+        return ibv_recv_wr(wr_id=self.wr_id, sg_list=list(self.sg_list))
+
+
+@dataclass
+class ibv_wc:
+    """Work completion."""
+
+    wr_id: int
+    status: WcStatus
+    opcode: WcOpcode
+    byte_len: int = 0
+    imm_data: Optional[int] = None
+    qp_num: int = 0
+    src_qp: int = 0
+    wc_flags: int = 0
+
+
+@dataclass
+class ibv_qp_attr:
+    """Attributes for ibv_modify_qp (subset; mask selects valid fields)."""
+
+    qp_state: Optional[QpState] = None
+    pkey_index: int = 0
+    port_num: int = 1
+    qp_access_flags: AccessFlags = AccessFlags.LOCAL_WRITE
+    path_mtu: int = 4096
+    dest_qp_num: int = 0
+    rq_psn: int = 0
+    sq_psn: int = 0
+    dlid: int = 0              # in ah_attr on real hardware
+    max_rd_atomic: int = 1
+    min_rnr_timer: int = 12
+    timeout: int = 14
+    retry_cnt: int = 7
+    rnr_retry: int = 7
+
+    def copy(self) -> "ibv_qp_attr":
+        return ibv_qp_attr(**self.__dict__)
+
+
+@dataclass
+class ibv_qp_init_attr:
+    send_cq: ibv_cq = None
+    recv_cq: ibv_cq = None
+    srq: Optional[ibv_srq] = None
+    qp_type: QpType = QpType.RC
+    sq_sig_all: bool = False
+    max_send_wr: int = 256
+    max_recv_wr: int = 256
+    max_inline_data: int = 256
+
+
+@dataclass
+class ibv_port_attr:
+    lid: int
+    state: str = "ACTIVE"
+    max_mtu: int = 4096

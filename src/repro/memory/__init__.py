@@ -1,0 +1,5 @@
+"""User-space memory model: address spaces, regions, pinning, snapshots."""
+
+from .address_space import PAGE_SIZE, AddressSpace, MemoryError_, Region
+
+__all__ = ["PAGE_SIZE", "AddressSpace", "MemoryError_", "Region"]

@@ -1,0 +1,215 @@
+"""Explicit user-space memory model.
+
+DMTCP's job is to copy and restore all of user-space memory.  Real processes
+get this from the kernel's mmap table; our simulated processes keep their
+data in an :class:`AddressSpace` — a table of named, virtually-addressed
+regions backed by real ``bytearray`` storage.  NumPy views over a region are
+writable and stay valid across a checkpoint/restore cycle because restore
+copies bytes *into the existing backing buffers* (the analogue of DMTCP
+restoring memory at the original virtual addresses).
+
+Scaled experiments: a region may declare ``repr_scale`` — "this region stands
+for ``repr_scale`` times its actual byte length on the paper's testbed".
+Actual data movement and checksums use the real bytes; time/size accounting
+in the benchmark harness uses the logical (scaled) size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+__all__ = ["AddressSpace", "Region", "MemoryError_", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+_BASE_ADDR = 0x1000_0000
+
+
+class MemoryError_(RuntimeError):
+    """Simulated segfault / mapping error (named to avoid shadowing the
+    builtin ``MemoryError``)."""
+
+
+@dataclass
+class Region:
+    """One contiguous mapping."""
+
+    name: str
+    addr: int
+    size: int
+    buffer: bytearray
+    repr_scale: float = 1.0
+    pin_count: int = 0
+    tag: str = ""  # e.g. "heap", "stack", "driver-data"
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    @property
+    def logical_size(self) -> float:
+        """Size this region stands for on the paper's testbed (bytes)."""
+        return self.size * self.repr_scale
+
+    def as_ndarray(self, dtype="uint8", shape=None) -> np.ndarray:
+        """A writable NumPy view over the region's bytes."""
+        arr = np.frombuffer(self.buffer, dtype=dtype)
+        if shape is not None:
+            arr = arr.reshape(shape)
+        return arr
+
+    def contains(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.end
+
+
+class AddressSpace:
+    """The mmap table of one simulated process."""
+
+    def __init__(self, name: str = "proc"):
+        self.name = name
+        self._regions: Dict[int, Region] = {}
+        self._next_addr = _BASE_ADDR
+        self._by_name: Dict[str, Region] = {}
+
+    # -- mapping ------------------------------------------------------------
+
+    def mmap(self, name: str, size: int, repr_scale: float = 1.0,
+             tag: str = "", data: Optional[bytes] = None) -> Region:
+        """Map a new zero-filled (or ``data``-initialised) region."""
+        if size <= 0:
+            raise MemoryError_(f"mmap size must be positive, got {size}")
+        if name in self._by_name:
+            raise MemoryError_(f"region name {name!r} already mapped")
+        pages = -(-size // PAGE_SIZE)
+        addr = self._next_addr
+        self._next_addr += pages * PAGE_SIZE + PAGE_SIZE  # guard page
+        buf = bytearray(size)
+        if data is not None:
+            if len(data) > size:
+                raise MemoryError_("initial data larger than region")
+            buf[: len(data)] = data
+        region = Region(name=name, addr=addr, size=size, buffer=buf,
+                        repr_scale=repr_scale, tag=tag)
+        self._regions[addr] = region
+        self._by_name[name] = region
+        return region
+
+    def munmap(self, region: Region) -> None:
+        if region.pinned:
+            raise MemoryError_(f"cannot unmap pinned region {region.name!r}")
+        if self._regions.pop(region.addr, None) is None:
+            raise MemoryError_(f"region {region.name!r} not mapped")
+        del self._by_name[region.name]
+
+    def region_at(self, addr: int, length: int = 1) -> Region:
+        """The region containing [addr, addr+length), else simulated SEGV."""
+        for region in self._regions.values():
+            if region.contains(addr, length):
+                return region
+        raise MemoryError_(
+            f"segfault: [{addr:#x}, {addr + length:#x}) not mapped in "
+            f"{self.name}")
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MemoryError_(f"no region named {name!r}") from None
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions.values())
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    # -- pinning (memory registration support) -------------------------------
+
+    def pin(self, addr: int, length: int) -> Region:
+        region = self.region_at(addr, length)
+        region.pin_count += 1
+        return region
+
+    def unpin(self, addr: int, length: int) -> None:
+        region = self.region_at(addr, length)
+        if region.pin_count <= 0:
+            raise MemoryError_(f"unpin of unpinned region {region.name!r}")
+        region.pin_count -= 1
+
+    # -- raw access (used by the simulated HCA's DMA engine) ----------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        region = self.region_at(addr, length)
+        off = addr - region.addr
+        return bytes(region.buffer[off: off + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        region = self.region_at(addr, len(data))
+        off = addr - region.addr
+        region.buffer[off: off + len(data)] = data
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self._regions.values())
+
+    @property
+    def logical_bytes(self) -> float:
+        return sum(r.logical_size for r in self._regions.values())
+
+    # -- snapshot / restore (what a checkpoint image stores) -----------------
+
+    def snapshot(self) -> dict:
+        """A deep copy of the full mapping table and contents."""
+        return {
+            "name": self.name,
+            "next_addr": self._next_addr,
+            "regions": [
+                {
+                    "name": r.name,
+                    "addr": r.addr,
+                    "size": r.size,
+                    "repr_scale": r.repr_scale,
+                    "tag": r.tag,
+                    "data": bytes(r.buffer),
+                }
+                for r in self._regions.values()
+            ],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore contents *in place*.
+
+        Regions present in the snapshot are re-created at their original
+        addresses if missing, and their bytes overwritten in the existing
+        backing buffers if present — so live NumPy views (the analogue of
+        pointers held on thread stacks) keep working.  Regions mapped after
+        the snapshot was taken are unmapped.  Pin counts reset to zero: a
+        freshly restarted process has no pinned memory (§4 of the paper).
+        """
+        snap_addrs = {r["addr"] for r in snap["regions"]}
+        for region in [r for r in self._regions.values()
+                       if r.addr not in snap_addrs]:
+            region.pin_count = 0
+            self.munmap(region)
+        for rsnap in snap["regions"]:
+            existing = self._regions.get(rsnap["addr"])
+            if existing is None:
+                existing = Region(
+                    name=rsnap["name"], addr=rsnap["addr"],
+                    size=rsnap["size"], buffer=bytearray(rsnap["size"]),
+                    repr_scale=rsnap["repr_scale"], tag=rsnap["tag"])
+                self._regions[existing.addr] = existing
+                self._by_name[existing.name] = existing
+            if existing.size != rsnap["size"]:
+                raise MemoryError_(
+                    f"region {existing.name!r} size changed since snapshot")
+            existing.buffer[:] = rsnap["data"]
+            existing.pin_count = 0
+        self._next_addr = max(self._next_addr, snap["next_addr"])

@@ -1,0 +1,17 @@
+"""Mini-MPI over the simulated verbs (IB BTL) or TCP sockets (TCP BTL)."""
+
+from .api import ANY_SOURCE, Communicator, MpiError
+from .btl_ib import EAGER_LIMIT, IbBtl
+from .btl_tcp import TcpBtl
+from .runtime import PLM_PORT, make_mpi_specs
+
+__all__ = [
+    "ANY_SOURCE",
+    "Communicator",
+    "EAGER_LIMIT",
+    "IbBtl",
+    "MpiError",
+    "PLM_PORT",
+    "TcpBtl",
+    "make_mpi_specs",
+]

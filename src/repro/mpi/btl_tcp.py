@@ -1,0 +1,105 @@
+"""TCP byte-transfer layer: the same BTL interface as :class:`IbBtl`, over
+plain sockets.  Used for natively-Ethernet MPI runs (debug clusters without
+InfiniBand); the RDMA put is emulated by a data frame the receiver's stack
+writes into the exposed buffer address."""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..dmtcp.process import AppContext
+from ..memory import Region
+from ..net.tcp import TcpStack
+
+__all__ = ["TcpBtl"]
+
+TCP_BTL_PORT_BASE = 26000
+_FRAME = 96.0
+
+
+class _FakeMr:
+    """The TCP BTL has no memory registration; expose a null rkey."""
+
+    rkey = 0
+    lkey = 0
+
+
+class TcpBtl:
+    """One rank's TCP endpoint (drop-in for IbBtl)."""
+
+    def __init__(self, ctx: AppContext, rank: int, size: int):
+        self.ctx = ctx
+        self.rank = rank
+        self.size = size
+        self.on_control: Optional[Callable[[int, dict], None]] = None
+        self._conns: Dict[int, Any] = {}
+        self._listener = None
+        self.peer_dir: Dict[int, str] = {}
+        self._mr = _FakeMr()
+
+    def start(self, peer_dir: Dict[int, str]) -> None:
+        self.peer_dir = peer_dir
+        stack = TcpStack.of(self.ctx.proc.node)
+        self._listener = stack.listen(TCP_BTL_PORT_BASE + self.rank)
+        self.ctx.proc.spawn_thread(self._accept_loop(),
+                                   name=f"{self.ctx.name}.tcpbtl.accept")
+
+    def stop(self) -> None:
+        pass
+
+    def mr_for(self, region: Region) -> _FakeMr:
+        return self._mr
+
+    def connect(self, peer: int) -> Generator:
+        conn = self._conns.get(peer)
+        if conn is not None:
+            return conn
+        stack = TcpStack.of(self.ctx.proc.node)
+        conn = yield from stack.connect(self.peer_dir[peer],
+                                        TCP_BTL_PORT_BASE + peer)
+        yield from conn.send({"kind": "hello", "rank": self.rank})
+        self._bind(peer, conn)
+        return conn
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self._listener.accept()
+            hello = yield conn.recv()
+            self._bind(hello["rank"], conn)
+
+    def _bind(self, peer: int, conn) -> None:
+        self._conns[peer] = conn
+        self.ctx.proc.spawn_thread(self._rx_loop(peer, conn),
+                                   name=f"{self.ctx.name}.tcpbtl.rx{peer}")
+
+    def _rx_loop(self, peer: int, conn) -> Generator:
+        while True:
+            frame = yield conn.recv()
+            if frame["kind"] == "data":
+                self.ctx.memory.write(frame["raddr"], frame["payload"])
+                if self.on_control is not None:
+                    self.on_control(peer, {"kind": "fin",
+                                           "rts": frame["rts"]})
+            elif self.on_control is not None:
+                self.on_control(peer, frame)
+
+    def send_control(self, peer: int, msg: dict,
+                     signaled: bool = False) -> Generator:
+        conn = self._conns.get(peer)
+        if conn is None:
+            conn = yield from self.connect(peer)
+        size = _FRAME + len(pickle.dumps(msg))
+        yield from conn.send(msg, size=size)
+
+    def rdma_put(self, peer: int, region: Region, offset: int,
+                 nbytes: int, rts_id: int, raddr: int,
+                 rkey: int) -> Generator:
+        conn = self._conns[peer]
+        payload = self.ctx.memory.read(region.addr + offset, nbytes)
+        logical = nbytes * region.repr_scale
+        yield from conn.send({"kind": "data", "raddr": raddr,
+                              "rts": rts_id, "payload": payload},
+                             size=_FRAME + logical)
+        # TCP is reliable and ordered: hand-off to the stack completes the
+        # local send (the FIN the receiver synthesizes completes its recv)

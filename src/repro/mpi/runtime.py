@@ -1,0 +1,99 @@
+"""mpirun: rank placement, out-of-band wire-up, and the per-rank main.
+
+The wire-up is a PLM-style registry: rank 0 runs a TCP server; every rank
+registers (rank → hostname) and receives the full directory, after which
+lazy per-pair QP connections use that directory (§3.2.1's out-of-band id
+exchange, carrying virtual ids under DMTCP).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..dmtcp.launcher import AppSpec
+from ..dmtcp.process import AppContext
+from ..hardware.cluster import Cluster
+from ..net.tcp import TcpStack
+from .api import Communicator
+from .btl_ib import IbBtl
+from .btl_tcp import TcpBtl
+
+__all__ = ["make_mpi_specs", "PLM_PORT"]
+
+PLM_PORT = 24000
+
+
+def _plm_server(ctx: AppContext, size: int,
+                directory: Dict[int, str]) -> Generator:
+    """Rank 0's registry: collect everyone, broadcast the directory."""
+    stack = TcpStack.of(ctx.proc.node)
+    listener = stack.listen(PLM_PORT)
+    conns = []
+    for _ in range(size - 1):
+        conn = yield listener.accept()
+        reg = yield conn.recv()
+        directory[reg["rank"]] = reg["host"]
+        conns.append(conn)
+    for conn in conns:
+        yield from conn.send(dict(directory),
+                             size=128.0 + 48.0 * len(directory))
+    listener.close()
+
+
+def _plm_register(ctx: AppContext, rank: int,
+                  rank0_host: str) -> Generator:
+    stack = TcpStack.of(ctx.proc.node)
+    conn = yield from stack.connect(rank0_host, PLM_PORT)
+    yield from conn.send({"rank": rank, "host": ctx.proc.node.name})
+    directory = yield conn.recv()
+    conn.close()
+    return directory
+
+
+def make_mpi_specs(cluster: Cluster, nprocs: int,
+                   app_fn: Callable[[AppContext, Communicator], Generator],
+                   ppn: Optional[int] = None,
+                   transport: str = "ib",
+                   name_prefix: str = "mpi") -> List[AppSpec]:
+    """Build the AppSpecs for an ``nprocs``-rank job.
+
+    ``ppn`` (processes per node) defaults to filling nodes block-wise with
+    the node's core count, like the paper's SLURM placements.
+    """
+    n_nodes = len(cluster.nodes)
+    if ppn is None:
+        ppn = max(1, -(-nprocs // n_nodes))
+    if -(-nprocs // ppn) > n_nodes:
+        raise ValueError(
+            f"{nprocs} ranks at {ppn}/node need {-(-nprocs // ppn)} nodes, "
+            f"cluster has {n_nodes}")
+    rank0_host = cluster.nodes[0].name
+    specs: List[AppSpec] = []
+    for rank in range(nprocs):
+        node_index = rank // ppn
+
+        def factory(ctx: AppContext, rank=rank) -> Generator:
+            if transport == "ib":
+                btl = IbBtl(ctx, rank, nprocs)
+            elif transport == "tcp":
+                btl = TcpBtl(ctx, rank, nprocs)
+            else:
+                raise ValueError(f"unknown transport {transport!r}")
+            if rank == 0:
+                directory = {0: ctx.proc.node.name}
+                yield from _plm_server(ctx, nprocs, directory)
+            else:
+                directory = yield from _plm_register(ctx, rank, rank0_host)
+            btl.start(directory)
+            comm = Communicator(ctx, btl, rank, nprocs)
+            ctx.btl = btl   # exposed for the CRS baseline's teardown
+            ctx.comm = comm
+            result = yield from app_fn(ctx, comm)
+            yield from comm.barrier()  # MPI_Finalize semantics
+            btl.stop()
+            return result
+
+        specs.append(AppSpec(node_index=node_index,
+                             name=f"{name_prefix}.r{rank}",
+                             factory=factory, rank=rank))
+    return specs

@@ -1,0 +1,5 @@
+"""Simulated TCP sockets over the Ethernet segment."""
+
+from .tcp import Connection, Listener, TcpError, TcpStack
+
+__all__ = ["Connection", "Listener", "TcpError", "TcpStack"]

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel (the clock for the whole substrate)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Resource, Store
+from .rng import RngFactory
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngFactory",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

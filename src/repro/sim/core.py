@@ -1,0 +1,435 @@
+"""Discrete-event simulation kernel.
+
+A small SimPy-flavoured engine: simulated processes are Python generators
+that ``yield`` :class:`Event` objects (timeouts, channel gets, other
+processes) and are resumed when those events trigger.  The engine is the
+clock for everything in this package — network transfers, disk writes,
+checkpoint barriers — so that the paper's reported times can be reproduced
+as simulated seconds.
+
+The kernel is deliberately deterministic: ties in the event heap are broken
+by an insertion sequence number, never by object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` is whatever object the interrupter supplied (for the
+    checkpoint engine this is typically a quiesce or teardown token).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()  # sentinel: event value not yet decided
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (value decided, scheduled on the heap), and *processed* (callbacks run).
+    Processes wait on events by yielding them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        # set when a failure's traceback has been consumed by some waiter,
+        # so un-waited failures can be reported at the end of the run
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so run() does not re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._delayed_value = value  # applied when the heap pops us
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The generator may ``yield`` any :class:`Event`.  ``return value`` inside
+    the generator becomes the process's event value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None  # event we are waiting on
+        self._suspended = False
+        self._stash: Optional[tuple] = None  # (ok, value) deferred wake
+        # bootstrap: start the generator at the current time
+        init = Event(env)
+        init.succeed()
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self.name} has already terminated")
+        env = self.env
+        proc = self
+
+        def _do_interrupt(_evt: Event) -> None:
+            if proc.triggered:
+                return
+            # Detach from whatever we were waiting on.
+            if proc._target is not None and proc._target.callbacks is not None:
+                try:
+                    proc._target.callbacks.remove(proc._resume)
+                except ValueError:
+                    pass
+            proc._target = None
+            proc._step(Interrupt(cause), throw=True)
+
+        kick = Event(env)
+        kick.callbacks.append(_do_interrupt)
+        kick.succeed()
+
+    def kill(self) -> None:
+        """Terminate the process immediately without running its finally
+        blocks at a later simulated time (used for cluster teardown)."""
+        if self.triggered:
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._generator.close()
+        self._ok = True
+        self._value = None
+        self.env._schedule(self)
+
+    def suspend(self) -> None:
+        """Quiesce the process: if its awaited event fires while suspended,
+        the wake-up is stashed and replayed on :meth:`unsuspend` (the
+        checkpoint engine's SIGSTOP analogue)."""
+        self._suspended = True
+
+    def unsuspend(self) -> None:
+        """Resume a suspended process, replaying any stashed wake-up at the
+        current simulated time."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        if self._stash is not None:
+            ok, value = self._stash
+            self._stash = None
+            wake = Event(self.env)
+            wake._ok = ok
+            wake._value = value
+            wake.callbacks.append(self._resume)
+            self.env._schedule(wake)
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
+    # -- internal driving ------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self._suspended:
+            if not event._ok:
+                event._defused = True
+            self._stash = (event._ok, event._value)
+            self._target = None
+            return
+        self._target = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            event._defused = True
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        self.env._active_process = self
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self._defused = False
+            self.env._schedule(self)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}")
+            self._generator.throw(err)  # give it a chance; likely propagates
+            return
+        if target.env is not self.env:
+            raise SimulationError("yielded event from a foreign environment")
+        self._target = target
+        if target.callbacks is None:
+            # already processed: wake immediately (same timestamp)
+            wake = Event(self.env)
+            wake._ok = target._ok
+            wake._value = target._value
+            if not target._ok:
+                target._defused = True
+            wake.callbacks.append(self._resume)
+            self.env._schedule(wake)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for evt in self.events:
+            if evt.env is not env:
+                raise SimulationError("condition spans environments")
+            if evt.callbacks is None:
+                self._check(evt)
+            else:
+                evt.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {evt: evt._value for evt in self.events if evt.triggered}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers once all child events have triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """Holds the simulated clock and the pending event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        if event._value is PENDING:
+            # a delay-scheduled event (Timeout) triggers as it is popped
+            event._ok = True
+            event._value = getattr(event, "_delayed_value", None)
+        if event.callbacks is None:
+            return  # killed process already finalized
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        If ``until`` is an event, returns that event's value (raising if the
+        event failed).  If it is a number, simulated time advances exactly to
+        it.  If ``None``, runs until no events remain.
+        """
+        stop_event: Optional[Event] = None
+        deadline: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            flag = {"done": False}
+            stop_event.callbacks.append(lambda _e: flag.__setitem__("done", True))
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError("deadline is in the past")
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if deadline is not None and self._heap[0][0] > deadline:
+                self._now = deadline
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                break
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the heap before the event fired")
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        if deadline is not None:
+            self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")

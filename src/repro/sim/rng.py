@@ -1,0 +1,33 @@
+"""Deterministic per-component random streams.
+
+Every simulated component (an HCA's id allocator, the fabric's jitter model,
+a NAS kernel's data generator) draws from its own named stream derived from
+a single root seed, so whole-cluster simulations are reproducible and the
+streams are independent of each other and of call ordering elsewhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory"]
+
+
+class RngFactory:
+    """Derives independent ``numpy.random.Generator`` streams by name."""
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = int(root_seed)
+
+    def stream(self, name: str) -> np.random.Generator:
+        digest = hashlib.sha256(
+            f"{self.root_seed}:{name}".encode()).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        return np.random.default_rng(seed)
+
+    def child(self, name: str) -> "RngFactory":
+        digest = hashlib.sha256(
+            f"{self.root_seed}:{name}:child".encode()).digest()
+        return RngFactory(int.from_bytes(digest[:8], "little"))

@@ -1,0 +1,7 @@
+"""Berkeley-UPC-like PGAS runtime over the GASNet ibv conduit."""
+
+from .gasnet import GASNET_PORT, GasnetCore
+from .runtime import SharedArray, Upc, make_upc_specs
+
+__all__ = ["GASNET_PORT", "GasnetCore", "SharedArray", "Upc",
+           "make_upc_specs"]

@@ -1,0 +1,69 @@
+"""Shared fixtures: small IB clusters with processes and verbs endpoints."""
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.hardware import BUFFALO_CCR, Cluster, HardwareSpec, ProcessHost
+from repro.ibverbs import (
+    AccessFlags,
+    VerbsLib,
+    ibv_qp_init_attr,
+)
+from repro.sim import Environment
+
+
+@dataclass
+class Endpoint:
+    """One process with an opened verbs stack (context/pd/cq ready)."""
+
+    proc: ProcessHost
+    lib: VerbsLib
+    ctx: object
+    pd: object
+    cq: object
+    lid: int
+
+    def make_qp(self, sq_sig_all: bool = False, srq=None):
+        return self.lib.create_qp(
+            self.pd, ibv_qp_init_attr(send_cq=self.cq, recv_cq=self.cq,
+                                      srq=srq, sq_sig_all=sq_sig_all))
+
+    def reg(self, size: int, name: str, scale: float = 1.0):
+        """mmap + reg_mr a buffer; returns (region, mr)."""
+        region = self.proc.memory.mmap(name, size, repr_scale=scale)
+        mr = self.lib.reg_mr(
+            self.pd, region.addr, size,
+            AccessFlags.LOCAL_WRITE | AccessFlags.REMOTE_WRITE
+            | AccessFlags.REMOTE_READ)
+        return region, mr
+
+
+def make_endpoint(proc: ProcessHost, lib: VerbsLib = None) -> Endpoint:
+    lib = lib or VerbsLib(proc)
+    dev = lib.get_device_list()[0]
+    ctx = lib.open_device(dev)
+    pd = lib.alloc_pd(ctx)
+    cq = lib.create_cq(ctx, cqe=4096)
+    lid = lib.query_port(ctx).lid
+    return Endpoint(proc=proc, lib=lib, ctx=ctx, pd=pd, cq=cq, lid=lid)
+
+
+@dataclass
+class IbPair:
+    env: Environment
+    cluster: Cluster
+    a: Endpoint
+    b: Endpoint
+
+
+@pytest.fixture
+def ib_pair() -> IbPair:
+    """Two nodes, one process each, verbs opened on both."""
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=2, name="test-pair")
+    pa = cluster.nodes[0].fork("a")
+    pb = cluster.nodes[1].fork("b")
+    return IbPair(env=env, cluster=cluster,
+                  a=make_endpoint(pa), b=make_endpoint(pb))

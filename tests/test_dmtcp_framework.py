@@ -1,0 +1,313 @@
+"""Tests for the DMTCP framework itself (no InfiniBand plugin yet):
+launch, coordinator barriers/pub-sub, checkpoint-resume, checkpoint-restart
+of plugin-free computations, image integrity, BLCR-style metadata."""
+
+import numpy as np
+import pytest
+
+from repro.dmtcp import (
+    AppSpec,
+    CheckpointImage,
+    DmtcpEvent,
+    Plugin,
+    dmtcp_launch,
+    dmtcp_restart,
+    native_launch,
+)
+from repro.hardware import BUFFALO_CCR, Cluster
+from repro.sim import Environment
+
+
+def counting_app(ctx, iters=10, quantum=0.5):
+    """Keeps all state in process memory — checkpoint/restart-safe."""
+    region = ctx.memory.mmap(f"{ctx.name}.state", 8 * (iters + 1))
+    state = region.as_ndarray(dtype=np.float64)
+    for i in range(iters):
+        yield ctx.compute(seconds=quantum)
+        state[i + 1] = state[i] + 1.0
+    return float(state[iters])
+
+
+@pytest.fixture
+def env_cluster():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=2, name="dmtcp-test")
+    return env, cluster
+
+
+def _launch(env, cluster, n=2, plugin_factory=lambda: [], **kw):
+    specs = [AppSpec(node_index=i % len(cluster.nodes), name=f"r{i}", rank=i,
+                     factory=lambda ctx: counting_app(ctx))
+             for i in range(n)]
+    return env.run(until=env.process(
+        dmtcp_launch(cluster, specs, plugin_factory=plugin_factory, **kw)))
+
+
+def test_native_launch_runs_to_completion(env_cluster):
+    env, cluster = env_cluster
+    specs = [AppSpec(0, "a", lambda ctx: counting_app(ctx)),
+             AppSpec(1, "b", lambda ctx: counting_app(ctx))]
+    session = native_launch(cluster, specs)
+    results = env.run(until=env.process(session.wait()))
+    assert results == [10.0, 10.0]
+    assert env.now == pytest.approx(5.0)  # 10 x 0.5s, parallel
+
+
+def test_dmtcp_launch_adds_startup_and_runtime_overhead(env_cluster):
+    env, cluster = env_cluster
+    session = _launch(env, cluster, n=2)
+    env.run(until=env.process(session.wait()))
+    native_time = 5.0
+    assert env.now > native_time  # startup + compute tax
+    assert env.now < native_time + 3.0  # but modest
+
+
+def test_checkpoint_resume_computation_completes(env_cluster):
+    env, cluster = env_cluster
+    session = _launch(env, cluster, n=2)
+
+    def scenario():
+        yield env.timeout(2.0)
+        ckpt = yield from session.checkpoint(intent="resume")
+        results = yield from session.wait()
+        return ckpt, results
+
+    ckpt, results = env.run(until=env.process(scenario()))
+    assert results == [10.0, 10.0]
+    assert len(ckpt.records) == 2
+    assert ckpt.wall_seconds > 0
+    for record in ckpt.records:
+        assert record.image.logical_size > 0
+
+
+def test_checkpoint_writes_real_image_bytes(env_cluster):
+    env, cluster = env_cluster
+    session = _launch(env, cluster, n=2)
+
+    def scenario():
+        yield env.timeout(2.0)
+        return (yield from session.checkpoint(intent="resume"))
+
+    ckpt = env.run(until=env.process(scenario()))
+    node0 = cluster.nodes[0]
+    path = ckpt.records[0].path
+    data = node0.local_disk.fs.load(path)
+    image = CheckpointImage.from_bytes(data)
+    assert image.proc_name == "r0"
+    assert image.kernel_version == BUFFALO_CCR.kernel_version
+    # the memory snapshot contains the counting state at checkpoint time
+    names = [r["name"] for r in image.memory_snapshot["regions"]]
+    assert "r0.state" in names
+
+
+def test_checkpoint_restart_same_cluster(env_cluster):
+    env, cluster = env_cluster
+    session = _launch(env, cluster, n=2)
+
+    def scenario():
+        yield env.timeout(2.2)  # mid-computation
+        ckpt = yield from session.checkpoint(intent="restart")
+        cluster.teardown()
+        cluster2 = Cluster(env, BUFFALO_CCR, n_nodes=2, name="restart-onto")
+        session2 = yield from dmtcp_restart(cluster2, ckpt)
+        results = yield from session2.wait()
+        return results
+
+    assert env.run(until=env.process(scenario())) == [10.0, 10.0]
+
+
+def test_restart_rolls_back_post_checkpoint_memory(env_cluster):
+    """Memory mutated after the checkpoint must be restored from the image."""
+    env, cluster = env_cluster
+    session = _launch(env, cluster, n=1)
+
+    def scenario():
+        yield env.timeout(2.2)
+        ckpt = yield from session.checkpoint(intent="restart")
+        cont = ckpt.records[0].continuation
+        state = cont.memory.region("r0.state").as_ndarray(dtype=np.float64)
+        pre = state.copy()
+        state[:] = 99.0  # simulate post-checkpoint corruption/progress
+        cluster.teardown()
+        cluster2 = Cluster(env, BUFFALO_CCR, n_nodes=1, name="rb")
+        session2 = yield from dmtcp_restart(cluster2, ckpt)
+        restored = cont.memory.region("r0.state").as_ndarray(
+            dtype=np.float64)
+        # the scribbled 99s are gone; earlier cells are byte-identical
+        # (the thawed app may already have appended the next cell)
+        assert not (restored == 99.0).any()
+        assert (restored[:4] == pre[:4]).all()
+        results = yield from session2.wait()
+        return results
+
+    assert env.run(until=env.process(scenario())) == [10.0]
+
+
+def test_plugin_event_sequence():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=1, name="ev")
+    events = []
+
+    class Spy(Plugin):
+        name = "spy"
+
+        def event(self, event, data=None):
+            events.append(event)
+
+        def drain_round(self):
+            return 0
+
+    def app(ctx):
+        yield ctx.compute(seconds=5.0)
+        return "done"
+
+    def scenario():
+        session = yield from dmtcp_launch(
+            cluster, [AppSpec(0, "p", app)], plugin_factory=lambda: [Spy()])
+        yield env.timeout(1.0)
+        yield from session.checkpoint(intent="resume")
+        yield from session.wait()
+
+    env.run(until=env.process(scenario()))
+    assert events[0] is DmtcpEvent.INIT
+    idx = {e: i for i, e in enumerate(events)}
+    assert idx[DmtcpEvent.PRESUSPEND] < idx[DmtcpEvent.SUSPEND] \
+        < idx[DmtcpEvent.PRECHECKPOINT] < idx[DmtcpEvent.WRITE_CKPT] \
+        < idx[DmtcpEvent.RESUME]
+
+
+def test_drain_rounds_repeat_until_globally_quiet():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=1, name="drain")
+
+    class SlowDrain(Plugin):
+        name = "slow"
+
+        def __init__(self):
+            super().__init__()
+            self.rounds = 0
+
+        def drain_round(self):
+            self.rounds += 1
+            # report activity for the first 3 calls
+            return 1 if self.rounds <= 3 else 0
+
+    plugin = SlowDrain()
+
+    def app(ctx):
+        yield ctx.compute(seconds=3.0)
+
+    def scenario():
+        session = yield from dmtcp_launch(
+            cluster, [AppSpec(0, "p", app)],
+            plugin_factory=lambda: [plugin])
+        yield env.timeout(0.5)
+        yield from session.checkpoint(intent="resume")
+        yield from session.wait()
+
+    env.run(until=env.process(scenario()))
+    assert plugin.rounds >= 4  # kept going until a quiet round
+
+
+def test_user_threads_frozen_during_checkpoint():
+    """Compute makes no progress while the checkpoint is in flight."""
+    env = Environment()
+    # Artificially slow disk so the checkpoint takes a while
+    from repro.hardware import HardwareSpec
+    spec = HardwareSpec(name="slowdisk", cores_per_node=1,
+                        local_disk_write_bw=1e4, has_lustre=False)
+    cluster = Cluster(env, spec, n_nodes=1, name="freeze")
+    ticks = []
+
+    def app(ctx):
+        for _ in range(40):
+            yield ctx.compute(seconds=0.25)
+            ticks.append(env.now)
+
+    def scenario():
+        session = yield from dmtcp_launch(cluster, [AppSpec(0, "p", app)])
+        yield env.timeout(1.0)
+        t0 = env.now
+        yield from session.checkpoint(intent="resume")
+        t1 = env.now
+        yield from session.wait()
+        return t0, t1
+
+    t0, t1 = env.run(until=env.process(scenario()))
+    assert t1 - t0 > 1.0  # slow disk made the freeze window real
+    # no progress inside the freeze window (threads resume a network-latency
+    # before the coordinator reports completion, hence the 10ms guard)
+    assert not [t for t in ticks if t0 + 0.3 < t < t1 - 0.01]
+
+
+def test_checkpoint_restart_twice(env_cluster):
+    """A restarted job can be checkpointed and restarted again."""
+    env, cluster = env_cluster
+    session = _launch(env, cluster, n=2)
+
+    def scenario():
+        yield env.timeout(1.2)
+        ckpt1 = yield from session.checkpoint(intent="restart")
+        cluster.teardown()
+        c2 = Cluster(env, BUFFALO_CCR, n_nodes=2, name="hop1")
+        s2 = yield from dmtcp_restart(c2, ckpt1)
+        yield env.timeout(1.7)
+        ckpt2 = yield from s2.checkpoint(intent="restart")
+        c2.teardown()
+        c3 = Cluster(env, BUFFALO_CCR, n_nodes=2, name="hop2")
+        s3 = yield from dmtcp_restart(c3, ckpt2)
+        return (yield from s3.wait())
+
+    assert env.run(until=env.process(scenario())) == [10.0, 10.0]
+
+
+def test_image_roundtrip_and_bad_magic():
+    from repro.memory import AddressSpace
+    from repro.dmtcp.image import ImageError
+
+    mem = AddressSpace("x")
+    r = mem.mmap("data", 256)
+    r.as_ndarray()[:] = 42
+    img = CheckpointImage.capture("x", 1, "k", None, mem, gzip=True)
+    blob = img.to_bytes()
+    img2 = CheckpointImage.from_bytes(blob)
+    assert img2.proc_name == "x"
+    fresh = AddressSpace("y")
+    img2.restore_memory(fresh)
+    assert (fresh.region("data").as_ndarray() == 42).all()
+    with pytest.raises(ImageError):
+        CheckpointImage.from_bytes(b"NOTMAGIC" + blob[8:])
+
+
+def test_gzip_compression_ratio_measured():
+    from repro.memory import AddressSpace
+
+    mem = AddressSpace("x")
+    zeros = mem.mmap("zeros", 64 * 1024)  # compresses well
+    img_gz = CheckpointImage.capture("x", 1, "k", None, mem, gzip=True)
+    img_raw = CheckpointImage.capture("x", 1, "k", None, mem, gzip=False)
+    assert img_gz.compression_ratio < 0.1
+    assert img_raw.compression_ratio == 1.0
+    rng = np.random.default_rng(1)
+    rnd = mem.mmap("rand", 64 * 1024)
+    rnd.as_ndarray()[:] = rng.integers(0, 256, 64 * 1024, dtype=np.uint8)
+    img_gz2 = CheckpointImage.capture("x", 1, "k", None, mem, gzip=True)
+    assert img_gz2.compression_ratio > 0.4  # random data barely compresses
+
+
+def test_interval_checkpointing(env_cluster):
+    """DMTCP's --interval: periodic checkpoints until the job completes."""
+    env, cluster = env_cluster
+    session = _launch(env, cluster, n=2)
+    driver = session.start_interval_checkpointing(interval=2.0)
+
+    def scenario():
+        results = yield from session.wait()
+        taken = yield driver
+        return results, taken
+
+    results, taken = env.run(until=env.process(scenario()))
+    assert results == [10.0, 10.0]
+    assert len(taken) >= 2  # the ~5s job fits at least two 2s intervals
+    for ckpt in taken:
+        assert len(ckpt.records) == 2

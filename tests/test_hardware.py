@@ -1,0 +1,297 @@
+"""Tests for storage, network, HCA, node, and cluster models."""
+
+import pytest
+
+from repro.hardware import (
+    BUFFALO_CCR,
+    Cluster,
+    Disk,
+    FileSystem,
+    HCA,
+    HCAError,
+    MGHPCC,
+    Network,
+    NetworkError,
+    StorageError,
+)
+from repro.sim import Environment, RngFactory
+
+
+# -- storage -------------------------------------------------------------------
+
+def test_disk_write_read_roundtrip_with_timing():
+    env = Environment()
+    disk = Disk(env, "d", write_bandwidth=100.0, read_bandwidth=200.0,
+                latency=1.0)
+
+    def proc():
+        yield from disk.write("/tmp/f", b"x" * 100)
+        t_write = env.now
+        data = yield from disk.read("/tmp/f")
+        return t_write, env.now, data
+
+    t_write, t_total, data = env.run(until=env.process(proc()))
+    assert data == b"x" * 100
+    assert t_write == pytest.approx(1.0 + 100 / 100.0)
+    assert t_total == pytest.approx(t_write + 1.0 + 100 / 200.0)
+
+
+def test_disk_logical_size_scales_time_not_bytes():
+    env = Environment()
+    disk = Disk(env, "d", write_bandwidth=100.0, read_bandwidth=100.0,
+                latency=0.0)
+
+    def proc():
+        yield from disk.write("/f", b"ab", logical_size=1000.0)
+        return env.now
+
+    assert env.run(until=env.process(proc())) == pytest.approx(10.0)
+    assert disk.fs.load("/f") == b"ab"
+    assert disk.fs.logical_size("/f") == 1000.0
+
+
+def test_disk_single_head_serializes_writers():
+    env = Environment()
+    disk = Disk(env, "d", write_bandwidth=10.0, read_bandwidth=10.0,
+                latency=0.0)
+    done = []
+
+    def writer(i):
+        yield from disk.write(f"/f{i}", b"0123456789")
+        done.append(env.now)
+
+    for i in range(3):
+        env.process(writer(i))
+    env.run()
+    assert done == [1.0, 2.0, 3.0]
+
+
+def test_fs_errors_and_listing():
+    fs = FileSystem("fs")
+    with pytest.raises(StorageError):
+        fs.load("/nope")
+    fs.store("/a/1", b"x", 1)
+    fs.store("/a/2", b"y", 1)
+    fs.store("/b/1", b"z", 1)
+    assert fs.listdir("/a/") == ["/a/1", "/a/2"]
+    fs.delete("/a/1")
+    assert not fs.exists("/a/1")
+    assert fs.total_bytes == 2
+
+
+# -- network -------------------------------------------------------------------
+
+def test_network_delivery_time():
+    env = Environment()
+    net = Network(env, "net", latency=0.5, bandwidth=100.0)
+    inbox = []
+    net.attach("b", lambda m: inbox.append((env.now, m)))
+    port_a = net.attach("a", lambda m: None)
+
+    def proc():
+        yield from port_a.send("b", "hello", size=100.0)
+        return env.now
+
+    sender_done = env.run(until=env.process(proc()))
+    env.run()
+    assert sender_done == pytest.approx(1.0)          # serialization only
+    assert inbox == [(pytest.approx(1.5), "hello")]   # + latency
+
+
+def test_network_sender_serializes_but_pipelines_latency():
+    env = Environment()
+    net = Network(env, "net", latency=10.0, bandwidth=1.0)
+    inbox = []
+    net.attach("b", lambda m: inbox.append(env.now))
+    port = net.attach("a", lambda m: None)
+
+    def proc():
+        yield from port.send("b", 1, size=1.0)
+        yield from port.send("b", 2, size=1.0)
+
+    env.process(proc())
+    env.run()
+    # wire serialization is 1s each; both latencies overlap
+    assert inbox == [pytest.approx(11.0), pytest.approx(12.0)]
+
+
+def test_network_teardown_drops_in_flight():
+    env = Environment()
+    net = Network(env, "net", latency=5.0, bandwidth=1e9)
+    inbox = []
+    net.attach("b", lambda m: inbox.append(m))
+    port = net.attach("a", lambda m: None)
+
+    def proc():
+        yield from port.send("b", "doomed", size=1.0)
+        net.teardown()  # before the 5s latency elapses
+
+    env.process(proc())
+    env.run()
+    assert inbox == []
+    assert net.dropped_in_flight == 1
+
+
+def test_network_unknown_destination_dropped():
+    env = Environment()
+    net = Network(env, "net", latency=0.0, bandwidth=1e9)
+    port = net.attach("a", lambda m: None)
+
+    def proc():
+        yield from port.send("ghost", "x", size=1.0)
+
+    env.process(proc())
+    env.run()
+    assert net.dropped_in_flight == 1
+
+
+def test_network_duplicate_endpoint_rejected():
+    env = Environment()
+    net = Network(env, "net", latency=0, bandwidth=1)
+    net.attach("a", lambda m: None)
+    with pytest.raises(NetworkError):
+        net.attach("a", lambda m: None)
+
+
+def test_send_after_teardown_raises():
+    env = Environment()
+    net = Network(env, "net", latency=0, bandwidth=1)
+    port = net.attach("a", lambda m: None)
+    net.teardown()
+
+    def proc():
+        yield from port.send("a", "x", 1.0)
+
+    env.process(proc())
+    with pytest.raises(NetworkError):
+        env.run()
+
+
+# -- HCA -----------------------------------------------------------------------
+
+def test_hca_id_allocators_differ_per_boot():
+    env = Environment()
+    rngs = RngFactory(1)
+    hca1 = HCA(env, "h", "mlx4", rngs.stream("boot1"))
+    hca2 = HCA(env, "h", "mlx4", rngs.stream("boot2"))
+    qpns1 = [hca1.alloc_qpn() for _ in range(4)]
+    qpns2 = [hca2.alloc_qpn() for _ in range(4)]
+    assert qpns1 != qpns2
+    assert len(set(qpns1)) == 4  # monotone, unique within a boot
+
+
+def test_hca_routes_packets_by_qpn():
+    env = Environment()
+    net = Network(env, "ib", latency=1e-6, bandwidth=1e9)
+    rngs = RngFactory(7)
+    a = HCA(env, "a", "mlx4", rngs.stream("a"))
+    b = HCA(env, "b", "mlx4", rngs.stream("b"))
+    a.attach(net, lid=10)
+    b.attach(net, lid=20)
+    got = []
+    b.register_qp(77, lambda pkt: got.append(pkt["body"]))
+
+    def proc():
+        yield from a.hw_send(20, {"dst_qpn": 77, "body": "data"}, size=64)
+        yield from a.hw_send(20, {"dst_qpn": 99, "body": "lost"}, size=64)
+
+    env.process(proc())
+    env.run()
+    assert got == ["data"]
+    assert b.packets_rx == 2  # dead-QP packet silently dropped
+
+
+def test_hca_double_attach_and_register_rejected():
+    env = Environment()
+    net = Network(env, "ib", latency=0, bandwidth=1)
+    hca = HCA(env, "h", "qib", RngFactory(3).stream("h"))
+    hca.attach(net, lid=1)
+    with pytest.raises(HCAError):
+        hca.attach(net, lid=2)
+    hca.register_qp(5, lambda p: None)
+    with pytest.raises(HCAError):
+        hca.register_qp(5, lambda p: None)
+
+
+# -- cluster -------------------------------------------------------------------
+
+def test_cluster_build_mghpcc():
+    env = Environment()
+    cluster = Cluster(env, MGHPCC, n_nodes=4)
+    assert len(cluster) == 4
+    lids = [n.hca.lid for n in cluster.nodes]
+    assert len(set(lids)) == 4
+    assert all(n.lustre is not None for n in cluster.nodes)
+    # Lustre is one shared filesystem
+    assert cluster.nodes[0].lustre.fs is cluster.nodes[1].lustre.fs
+    # local disks are distinct
+    assert cluster.nodes[0].local_disk.fs is not cluster.nodes[1].local_disk.fs
+
+
+def test_two_clusters_get_different_lids():
+    env = Environment()
+    c1 = Cluster(env, BUFFALO_CCR, n_nodes=2, name="prod")
+    c2 = Cluster(env, BUFFALO_CCR, n_nodes=2, name="spare")
+    assert {n.hca.lid for n in c1.nodes}.isdisjoint(
+        {n.hca.lid for n in c2.nodes})
+
+
+def test_cluster_deterministic_given_name_and_seed():
+    lids = []
+    for _ in range(2):
+        env = Environment()
+        c = Cluster(env, BUFFALO_CCR, n_nodes=3, rng=RngFactory(9),
+                    name="same")
+        lids.append([n.hca.lid for n in c.nodes])
+    assert lids[0] == lids[1]
+
+
+def test_cluster_teardown_kills_processes_and_fabric():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=1)
+    node = cluster.nodes[0]
+    proc = node.fork("app")
+    ran = []
+
+    def main():
+        yield env.timeout(100.0)
+        ran.append(True)
+
+    proc.spawn_thread(main())
+
+    def killer():
+        yield env.timeout(1.0)
+        cluster.teardown()
+
+    env.process(killer())
+    env.run()
+    assert ran == []
+    assert cluster.fabric.torn_down
+    assert node.hca.port is None
+
+
+def test_process_compute_charges_time():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=1)
+    proc = cluster.nodes[0].fork("app")
+
+    gf = cluster.nodes[0].gflops_per_core
+
+    def main():
+        yield proc.compute(flops=gf * 1e9)  # exactly 1 second
+        return env.now
+
+    assert env.run(until=proc.spawn_thread(main())) == pytest.approx(1.0)
+
+
+def test_process_compute_tax():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=1)
+    proc = cluster.nodes[0].fork("app")
+    proc.compute_tax = 0.10
+
+    def main():
+        yield proc.compute(seconds=10.0)
+        return env.now
+
+    assert env.run(until=proc.spawn_thread(main())) == pytest.approx(11.0)

@@ -1,0 +1,168 @@
+"""Tests for the IB2TCP plugin: checkpoint on InfiniBand, restart on an
+Ethernet-only debug cluster with a different kernel (paper §6.4)."""
+
+import pytest
+
+from repro.apps.pingpong import pingpong_app
+from repro.core import Ib2TcpPlugin, InfinibandPlugin
+from repro.core.ib_plugin import NoInfinibandError
+from repro.dmtcp import AppSpec, dmtcp_launch, dmtcp_restart
+from repro.hardware import (
+    BUFFALO_CCR,
+    Cluster,
+    DEV_CLUSTER,
+    ETHERNET_DEBUG_CLUSTER,
+)
+from repro.sim import Environment
+
+
+def _pp_specs(cluster, iters=60, msg_bytes=2048, use_rdma=False):
+    server = cluster.nodes[0].name
+    return [
+        AppSpec(0, "pp-server",
+                lambda ctx: pingpong_app(ctx, None, True, iters=iters,
+                                         msg_bytes=msg_bytes,
+                                         use_rdma=use_rdma)),
+        AppSpec(1, "pp-client",
+                lambda ctx: pingpong_app(ctx, server, False, iters=iters,
+                                         msg_bytes=msg_bytes,
+                                         use_rdma=use_rdma)),
+    ]
+
+
+def _with_ib2tcp():
+    return [InfinibandPlugin(fallback=Ib2TcpPlugin())]
+
+
+def _migrate(env, cluster, session, debug_nodes=2, node_map=None):
+    def scenario():
+        yield env.timeout(0.002)
+        ckpt = yield from session.checkpoint(intent="restart")
+        cluster.teardown()
+        debug = Cluster(env, ETHERNET_DEBUG_CLUSTER, n_nodes=debug_nodes,
+                        name="debug-cluster")
+        session2 = yield from dmtcp_restart(debug, ckpt, node_map=node_map)
+        results = yield from session2.wait()
+        return debug, results
+
+    return env.run(until=env.process(scenario()))
+
+
+def test_restart_on_ethernet_without_ib2tcp_fails():
+    env = Environment()
+    cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="prod")
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, _pp_specs(cluster, iters=200),
+        plugin_factory=lambda: [InfinibandPlugin()])))
+    with pytest.raises(NoInfinibandError):
+        _migrate(env, cluster, session)
+
+
+def test_ib_to_ethernet_migration_pingpong():
+    """The §6.4 headline: checkpoint over IB, restart over TCP — the
+    application's virtual verbs resources keep working."""
+    env = Environment()
+    cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="prod")
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, _pp_specs(cluster, iters=120),
+        plugin_factory=_with_ib2tcp)))
+    debug, results = _migrate(env, cluster, session)
+    assert all(r["errors"] == 0 for r in results)
+    assert all(r["iters"] == 120 for r in results)
+
+
+def test_kernel_version_differs_across_migration():
+    """DMTCP's advantage over BLCR: the debug cluster runs another kernel."""
+    assert DEV_CLUSTER.kernel_version != ETHERNET_DEBUG_CLUSTER.kernel_version
+    env = Environment()
+    cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="prod")
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, _pp_specs(cluster, iters=60),
+        plugin_factory=_with_ib2tcp)))
+    debug, results = _migrate(env, cluster, session)
+    assert all(r["errors"] == 0 for r in results)
+
+
+def test_migration_rdma_mode():
+    """RDMA writes with immediate data work over the TCP emulation."""
+    env = Environment()
+    cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="prod-rdma")
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, _pp_specs(cluster, iters=80, use_rdma=True),
+        plugin_factory=_with_ib2tcp)))
+    debug, results = _migrate(env, cluster, session)
+    assert all(r["iters"] == 80 for r in results)
+
+
+def test_restart_on_single_ethernet_node():
+    """§6.4.2 also restarts the whole computation on a single node."""
+    env = Environment()
+    cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="prod-1n")
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, _pp_specs(cluster, iters=60),
+        plugin_factory=_with_ib2tcp)))
+    debug, results = _migrate(env, cluster, session, debug_nodes=1,
+                              node_map={0: 0, 1: 0})
+    assert all(r["errors"] == 0 for r in results)
+    assert len(debug.nodes[0].processes) >= 2
+
+
+def test_ethernet_execution_much_slower_than_ib():
+    """Table 8's shape: the same workload runs far slower post-migration
+    (steady-state per-iteration rate, excluding the freeze/restart)."""
+    from repro.apps.nas.common import post_restart_rate
+
+    iters = 3000
+
+    def run_ib():
+        env = Environment()
+        cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="ib-base")
+        session = env.run(until=env.process(dmtcp_launch(
+            cluster, _pp_specs(cluster, iters=iters),
+            plugin_factory=lambda: [InfinibandPlugin()])))
+        results = env.run(until=env.process(session.wait()))
+        return max(r["elapsed"] / r["iters"] for r in results)
+
+    def run_migrated():
+        env = Environment()
+        cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="ib-mig")
+        session = env.run(until=env.process(dmtcp_launch(
+            cluster, _pp_specs(cluster, iters=iters),
+            plugin_factory=_with_ib2tcp)))
+
+        def scenario():
+            yield env.timeout(0.01)
+            ckpt = yield from session.checkpoint(intent="restart")
+            cluster.teardown()
+            debug = Cluster(env, ETHERNET_DEBUG_CLUSTER, n_nodes=2,
+                            name="debug-rate")
+            t_restarted = env.now
+            session2 = yield from dmtcp_restart(debug, ckpt)
+            results = yield from session2.wait()
+            return results, t_restarted
+
+        results, t_restarted = env.run(until=env.process(scenario()))
+        return max(post_restart_rate(r["marks"], t_restarted)
+                   for r in results)
+
+    per_iter_ib = run_ib()
+    per_iter_eth = run_migrated()
+    assert per_iter_eth > 10 * per_iter_ib  # paper sees ~47x on ping-pong
+
+
+def test_ib2tcp_copy_overhead_charged_pre_restart():
+    """DMTCP/IB2TCP/IB (no migration) is slower than DMTCP/IB (Table 8)."""
+    iters = 150
+
+    def run(factory):
+        env = Environment()
+        cluster = Cluster(env, DEV_CLUSTER, n_nodes=2, name="ovh")
+        session = env.run(until=env.process(dmtcp_launch(
+            cluster, _pp_specs(cluster, iters=iters),
+            plugin_factory=factory)))
+        results = env.run(until=env.process(session.wait()))
+        return max(r["elapsed"] for r in results)
+
+    t_plain = run(lambda: [InfinibandPlugin()])
+    t_ib2tcp = run(_with_ib2tcp)
+    assert t_ib2tcp > t_plain

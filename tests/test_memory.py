@@ -1,0 +1,164 @@
+"""Unit and property tests for the address-space memory model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import PAGE_SIZE, AddressSpace, MemoryError_
+
+
+def test_mmap_and_rw():
+    mem = AddressSpace("p0")
+    r = mem.mmap("heap", 1024)
+    mem.write(r.addr + 10, b"hello")
+    assert mem.read(r.addr + 10, 5) == b"hello"
+    assert mem.read(r.addr, 1) == b"\x00"
+
+
+def test_mmap_initial_data():
+    mem = AddressSpace()
+    r = mem.mmap("d", 16, data=b"abc")
+    assert mem.read(r.addr, 4) == b"abc\x00"
+
+
+def test_mmap_rejects_bad_sizes_and_dup_names():
+    mem = AddressSpace()
+    with pytest.raises(MemoryError_):
+        mem.mmap("x", 0)
+    mem.mmap("x", 8)
+    with pytest.raises(MemoryError_):
+        mem.mmap("x", 8)
+
+
+def test_regions_page_aligned_and_disjoint():
+    mem = AddressSpace()
+    a = mem.mmap("a", 100)
+    b = mem.mmap("b", PAGE_SIZE * 3 + 1)
+    assert a.addr % PAGE_SIZE == 0 and b.addr % PAGE_SIZE == 0
+    assert b.addr >= a.addr + a.size
+
+
+def test_out_of_bounds_access_is_segfault():
+    mem = AddressSpace()
+    r = mem.mmap("a", 64)
+    with pytest.raises(MemoryError_, match="segfault"):
+        mem.read(r.addr + 60, 8)
+    with pytest.raises(MemoryError_, match="segfault"):
+        mem.read(r.addr - 1, 1)
+
+
+def test_cross_region_access_rejected():
+    mem = AddressSpace()
+    a = mem.mmap("a", PAGE_SIZE)
+    mem.mmap("b", PAGE_SIZE)
+    # guard page makes a.end..b.addr unmapped
+    with pytest.raises(MemoryError_):
+        mem.read(a.addr + PAGE_SIZE - 4, 16)
+
+
+def test_ndarray_view_is_writable_and_shared():
+    mem = AddressSpace()
+    r = mem.mmap("arr", 8 * 10)
+    view = r.as_ndarray(dtype=np.float64)
+    view[:] = np.arange(10.0)
+    assert np.frombuffer(mem.read(r.addr, 80), dtype=np.float64)[3] == 3.0
+
+
+def test_pin_unpin_and_unmap_pinned():
+    mem = AddressSpace()
+    r = mem.mmap("buf", 128)
+    mem.pin(r.addr, 64)
+    assert r.pinned
+    with pytest.raises(MemoryError_):
+        mem.munmap(r)
+    mem.unpin(r.addr, 64)
+    assert not r.pinned
+    mem.munmap(r)
+    with pytest.raises(MemoryError_):
+        mem.region("buf")
+
+
+def test_unpin_unpinned_rejected():
+    mem = AddressSpace()
+    r = mem.mmap("buf", 128)
+    with pytest.raises(MemoryError_):
+        mem.unpin(r.addr, 8)
+
+
+def test_snapshot_restore_roundtrip_in_place():
+    mem = AddressSpace()
+    r = mem.mmap("data", 64)
+    view = r.as_ndarray()
+    view[:] = 7
+    snap = mem.snapshot()
+    view[:] = 9  # post-checkpoint mutation
+    extra = mem.mmap("late", 32)  # region mapped after snapshot
+    mem.pin(r.addr, 8)
+    mem.restore(snap)
+    # bytes rolled back, view still live, late mapping gone, pins cleared
+    assert (view == 7).all()
+    assert len(mem) == 1
+    assert not r.pinned
+    with pytest.raises(MemoryError_):
+        mem.region_at(extra.addr)
+
+
+def test_restore_into_fresh_address_space():
+    mem = AddressSpace("orig")
+    r = mem.mmap("data", 16, repr_scale=4.0, tag="heap")
+    r.as_ndarray()[:] = 5
+    snap = mem.snapshot()
+
+    fresh = AddressSpace("restarted")
+    fresh.restore(snap)
+    r2 = fresh.region("data")
+    assert r2.addr == r.addr and r2.size == 16
+    assert r2.repr_scale == 4.0 and r2.tag == "heap"
+    assert (r2.as_ndarray() == 5).all()
+
+
+def test_restore_size_conflict_rejected():
+    mem = AddressSpace()
+    mem.mmap("data", 16)
+    snap = mem.snapshot()
+    snap["regions"][0]["size"] = 32
+    with pytest.raises(MemoryError_):
+        mem.restore(snap)
+
+
+def test_logical_size_accounting():
+    mem = AddressSpace()
+    mem.mmap("a", 1000, repr_scale=256.0)
+    mem.mmap("b", 24)
+    assert mem.total_bytes == 1024
+    assert mem.logical_bytes == 1000 * 256.0 + 24
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=256), min_size=1, max_size=8))
+def test_snapshot_restore_bitexact_property(blobs):
+    """restore(snapshot()) is byte-identical for arbitrary contents."""
+    mem = AddressSpace()
+    regions = []
+    for i, blob in enumerate(blobs):
+        regions.append(mem.mmap(f"r{i}", len(blob), data=blob))
+    snap = mem.snapshot()
+    for r in regions:  # scribble over everything
+        r.buffer[:] = bytes(len(r.buffer))
+    mem.restore(snap)
+    for r, blob in zip(regions, blobs):
+        assert bytes(r.buffer) == blob
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 4096), st.integers(0, 4095), st.binary(min_size=1, max_size=64))
+def test_rw_roundtrip_property(size, offset, data):
+    mem = AddressSpace()
+    r = mem.mmap("r", size)
+    if offset + len(data) <= size:
+        mem.write(r.addr + offset, data)
+        assert mem.read(r.addr + offset, len(data)) == data
+    else:
+        with pytest.raises(MemoryError_):
+            mem.write(r.addr + offset, data)

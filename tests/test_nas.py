@@ -1,0 +1,160 @@
+"""Tests for the NAS kernels: correctness, determinism, and — crucially —
+that a checkpoint-restarted run produces bit-identical checksums to an
+uninterrupted one (the end-to-end data-integrity property the paper's
+plugin must preserve)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nas import NAS, ep_app, ft_app, grid_2d, lu_app, sp_app, bt_app
+from repro.apps.nas.upc_ft import upc_ft_app
+from repro.core import InfinibandPlugin
+from repro.dmtcp import dmtcp_launch, dmtcp_restart, native_launch
+from repro.hardware import BUFFALO_CCR, Cluster
+from repro.mpi import make_mpi_specs
+from repro.sim import Environment
+from repro.upc import make_upc_specs
+
+
+def _run_mpi_native(app, nprocs, n_nodes=None, **app_kw):
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=n_nodes or nprocs,
+                      name="nas-nat")
+    specs = make_mpi_specs(
+        cluster, nprocs,
+        lambda ctx, comm: app(ctx, comm, **app_kw))
+    session = native_launch(cluster, specs)
+    results = env.run(until=env.process(session.wait()))
+    return env, results
+
+
+def test_grid_2d_factorizations():
+    assert grid_2d(4) == (2, 2)
+    assert grid_2d(8) == (2, 4)
+    assert grid_2d(64) == (8, 8)
+    assert grid_2d(2048) == (32, 64)
+    assert grid_2d(7) == (1, 7)
+
+
+def test_class_table_sane():
+    for (bench, klass), spec in NAS.items():
+        assert spec.flops_total > 0
+        assert spec.iterations >= spec.iters_sim
+        assert spec.points > 0
+
+
+def test_lu_runs_and_checksums_agree():
+    env, results = _run_mpi_native(lu_app, 4, klass="A", iters_sim=3)
+    sums = {r.checksum for r in results}
+    assert len(sums) == 1  # allreduce gave everyone the same value
+    assert results[0].loop_seconds > 0
+    assert results[0].benchmark == "LU"
+
+
+def test_lu_deterministic_across_runs():
+    _, r1 = _run_mpi_native(lu_app, 4, klass="A", iters_sim=3)
+    _, r2 = _run_mpi_native(lu_app, 4, klass="A", iters_sim=3)
+    assert r1[0].checksum == r2[0].checksum
+
+
+def test_lu_strong_scaling_shape():
+    """More ranks → shorter projected runtime, sub-linearly (Table 1)."""
+    _, r4 = _run_mpi_native(lu_app, 4, klass="C", iters_sim=2)
+    _, r16 = _run_mpi_native(lu_app, 16, klass="C", iters_sim=2)
+    t4 = r4[0].projected_runtime()
+    t16 = r16[0].projected_runtime()
+    assert t16 < t4          # it scales...
+    assert t16 > t4 / 4.0    # ...but not perfectly
+
+
+def test_ep_runs_with_tiny_memory():
+    env, results = _run_mpi_native(ep_app, 4, klass="D", iters_sim=2)
+    spec_mem = results[0]
+    assert len({r.checksum for r in results}) == 1
+
+
+def test_bt_requires_square_grid():
+    with pytest.raises(Exception, match="square"):
+        _run_mpi_native(bt_app, 8, klass="C", iters_sim=2)
+
+
+def test_bt_and_sp_run_on_square_grids():
+    _, bt = _run_mpi_native(bt_app, 4, klass="C", iters_sim=2)
+    _, sp = _run_mpi_native(sp_app, 4, klass="C", iters_sim=2)
+    assert len({r.checksum for r in bt}) == 1
+    assert len({r.checksum for r in sp}) == 1
+    # BT moves heavier faces and more flops per iteration than SP
+    assert bt[0].loop_seconds > sp[0].loop_seconds
+
+
+def test_ft_transpose_runs():
+    _, results = _run_mpi_native(ft_app, 4, klass="B", iters_sim=2)
+    assert len({r.checksum for r in results}) == 1
+    assert results[0].checksum > 0
+
+
+def test_upc_ft_runs():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=4, name="upcft")
+    specs = make_upc_specs(
+        cluster, 4, lambda ctx, upc: upc_ft_app(ctx, upc, "B", 2),
+        segment_bytes=1 << 20)
+    session = native_launch(cluster, specs)
+    results = env.run(until=env.process(session.wait()))
+    assert len({r.checksum for r in results}) == 1
+
+
+def test_scaled_memory_regions_match_class():
+    env, results = _run_mpi_native(lu_app, 4, klass="C", iters_sim=2)
+    spec = NAS[("LU", "C")]
+    # the data region's logical size should be the class's per-proc memory
+    # (checked indirectly: the spec math)
+    per_proc = spec.memory_per_proc(4)
+    assert 1.5e8 < per_proc < 2.5e8   # ~209 MB for LU.C at 4 ranks
+
+
+def test_lu_checksum_identical_through_checkpoint_restart():
+    """The headline integrity property: native checksum == checksum of a
+    run that was checkpointed mid-flight and restarted on a new cluster."""
+    def run_with_restart():
+        env = Environment()
+        cluster = Cluster(env, BUFFALO_CCR, n_nodes=4, name="nas-ck")
+        specs = make_mpi_specs(
+            cluster, 4, lambda ctx, comm: lu_app(ctx, comm, "A", 4))
+        session = env.run(until=env.process(dmtcp_launch(
+            cluster, specs, plugin_factory=lambda: [InfinibandPlugin()])))
+
+        def scenario():
+            yield env.timeout(3.0)  # mid-loop (LU.A at 4 ranks runs ~10s)
+            ckpt = yield from session.checkpoint(intent="restart")
+            cluster.teardown()
+            cluster2 = Cluster(env, BUFFALO_CCR, n_nodes=4, name="nas-ck2")
+            session2 = yield from dmtcp_restart(cluster2, ckpt)
+            return (yield from session2.wait())
+
+        return env.run(until=env.process(scenario()))
+
+    _, native = _run_mpi_native(lu_app, 4, klass="A", iters_sim=4)
+    restarted = run_with_restart()
+    assert restarted[0].checksum == native[0].checksum
+
+
+def test_ft_checksum_identical_through_checkpoint_resume():
+    def run_with_resume():
+        env = Environment()
+        cluster = Cluster(env, BUFFALO_CCR, n_nodes=4, name="ft-ck")
+        specs = make_mpi_specs(
+            cluster, 4, lambda ctx, comm: ft_app(ctx, comm, "B", 3))
+        session = env.run(until=env.process(dmtcp_launch(
+            cluster, specs, plugin_factory=lambda: [InfinibandPlugin()])))
+
+        def scenario():
+            yield env.timeout(2.0)
+            yield from session.checkpoint(intent="resume")
+            return (yield from session.wait())
+
+        return env.run(until=env.process(scenario()))
+
+    _, native = _run_mpi_native(ft_app, 4, klass="B", iters_sim=3)
+    resumed = run_with_resume()
+    assert resumed[0].checksum == native[0].checksum

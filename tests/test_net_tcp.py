@@ -1,0 +1,164 @@
+"""Tests for the TCP-over-Ethernet model."""
+
+import pytest
+
+from repro.hardware import BUFFALO_CCR, Cluster
+from repro.net import TcpError, TcpStack
+from repro.sim import Environment
+
+
+@pytest.fixture
+def two_nodes():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=2, name="tcp-test")
+    return env, cluster
+
+
+def test_connect_send_recv(two_nodes):
+    env, cluster = two_nodes
+    a, b = cluster.nodes
+    sa, sb = TcpStack.of(a), TcpStack.of(b)
+    listener = sb.listen(7000)
+    result = {}
+
+    def server():
+        conn = yield listener.accept()
+        msg = yield conn.recv()
+        result["got"] = msg
+        yield from conn.send({"reply": msg["x"] + 1})
+
+    def client():
+        conn = yield from sa.connect(b.name, 7000)
+        yield from conn.send({"x": 41})
+        reply = yield conn.recv()
+        return reply
+
+    env.process(server())
+    reply = env.run(until=env.process(client()))
+    assert result["got"] == {"x": 41}
+    assert reply == {"reply": 42}
+
+
+def test_messages_in_order(two_nodes):
+    env, cluster = two_nodes
+    a, b = cluster.nodes
+    sa, sb = TcpStack.of(a), TcpStack.of(b)
+    listener = sb.listen(1)
+    got = []
+
+    def server():
+        conn = yield listener.accept()
+        for _ in range(10):
+            got.append((yield conn.recv()))
+
+    def client():
+        conn = yield from sa.connect(b.name, 1)
+        for i in range(10):
+            yield from conn.send(i)
+
+    env.process(server())
+    env.process(client())
+    env.run()
+    assert got == list(range(10))
+
+
+def test_transfer_charges_ethernet_time(two_nodes):
+    env, cluster = two_nodes
+    a, b = cluster.nodes
+    sa, sb = TcpStack.of(a), TcpStack.of(b)
+    listener = sb.listen(1)
+
+    def server():
+        conn = yield listener.accept()
+        yield conn.recv()
+        return env.now
+
+    def client():
+        conn = yield from sa.connect(b.name, 1)
+        yield from conn.send(b"x", size=112e6)  # 1 second at GigE
+
+    srv = env.process(server())
+    env.process(client())
+    t = env.run(until=srv)
+    assert t > 1.0
+
+
+def test_multiple_connections_demuxed(two_nodes):
+    env, cluster = two_nodes
+    a, b = cluster.nodes
+    sa, sb = TcpStack.of(a), TcpStack.of(b)
+    listener = sb.listen(5)
+    seen = {}
+
+    def server():
+        for _ in range(2):
+            conn = yield listener.accept()
+
+            def handler(c):
+                msg = yield c.recv()
+                seen[msg] = c
+            env.process(handler(conn))
+
+    def client(tag):
+        conn = yield from sa.connect(b.name, 5)
+        yield from conn.send(tag)
+
+    env.process(server())
+    env.process(client("one"))
+    env.process(client("two"))
+    env.run()
+    assert set(seen) == {"one", "two"}
+    assert seen["one"] is not seen["two"]
+
+
+def test_listen_port_conflict(two_nodes):
+    env, cluster = two_nodes
+    stack = TcpStack.of(cluster.nodes[0])
+    stack.listen(80)
+    with pytest.raises(TcpError):
+        stack.listen(80)
+
+
+def test_loopback_connection(two_nodes):
+    env, cluster = two_nodes
+    stack = TcpStack.of(cluster.nodes[0])
+    listener = stack.listen(9)
+
+    def server():
+        conn = yield listener.accept()
+        msg = yield conn.recv()
+        return msg
+
+    def client():
+        conn = yield from stack.connect(cluster.nodes[0].name, 9)
+        yield from conn.send("self")
+
+    srv = env.process(server())
+    env.process(client())
+    assert env.run(until=srv) == "self"
+
+
+def test_stack_of_is_cached_until_teardown(two_nodes):
+    env, cluster = two_nodes
+    node = cluster.nodes[0]
+    s1 = TcpStack.of(node)
+    assert TcpStack.of(node) is s1
+    cluster.ethernet.teardown()
+    node.ethernet = Cluster(env, BUFFALO_CCR, n_nodes=1,
+                            name="replacement").ethernet
+    s2 = TcpStack.of(node)
+    assert s2 is not s1
+
+
+def test_send_on_unestablished_connection_raises(two_nodes):
+    env, cluster = two_nodes
+    from repro.net.tcp import Connection
+    stack = TcpStack.of(cluster.nodes[0])
+    conn = Connection(stack, "nowhere", local_cid=999)
+
+    def bad():
+        yield from conn.send("x")
+
+    env.process(bad())
+    with pytest.raises(TcpError):
+        env.run()

@@ -1,0 +1,336 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(1.0, value="hello")
+        return got
+
+    assert env.run(until=env.process(proc())) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    trace = []
+
+    def worker(name, delay):
+        yield env.timeout(delay)
+        trace.append((name, env.now))
+
+    env.process(worker("b", 2.0))
+    env.process(worker("a", 1.0))
+    env.process(worker("c", 3.0))
+    env.run()
+    assert trace == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_fifo_tie_break_is_creation_order():
+    env = Environment()
+    trace = []
+
+    def worker(name):
+        yield env.timeout(1.0)
+        trace.append(name)
+
+    for name in "abcde":
+        env.process(worker(name))
+    env.run()
+    assert trace == list("abcde")
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(2.0)
+        return 42
+
+    def outer():
+        value = yield env.process(inner())
+        return value + 1
+
+    assert env.run(until=env.process(outer())) == 43
+
+
+def test_yield_already_processed_event_resumes_same_time():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(1.0)
+        return "done"
+
+    def outer(p):
+        yield env.timeout(5.0)  # inner finished long ago
+        value = yield p
+        return (value, env.now)
+
+    p = env.process(inner())
+    assert env.run(until=env.process(outer(p))) == ("done", 5.0)
+
+
+def test_exception_propagates_to_waiter():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield env.process(bad())
+        return "handled"
+
+    assert env.run(until=env.process(waiter())) == "handled"
+
+
+def test_unhandled_failure_surfaces_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("unseen")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="unseen"):
+        env.run()
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_interrupt_wakes_blocked_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+        yield env.timeout(1.0)
+        return "recovered"
+
+    p = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(3.0)
+        p.interrupt(cause="wake-up")
+
+    env.process(interrupter())
+    assert env.run(until=p) == "recovered"
+    assert log == [(3.0, "wake-up")]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_kill_stops_process_silently():
+    env = Environment()
+    ran = []
+
+    def victim():
+        yield env.timeout(10.0)
+        ran.append("should not happen")
+
+    p = env.process(victim())
+
+    def killer():
+        yield env.timeout(1.0)
+        p.kill()
+
+    env.process(killer())
+    env.run()
+    assert ran == []
+    assert p.triggered
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, list(result.values()))
+
+    assert env.run(until=env.process(proc())) == (1.0, ["fast"])
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, sorted(result.values()))
+
+    assert env.run(until=env.process(proc())) == (5.0, ["a", "b"])
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+
+    def proc():
+        yield env.all_of([])
+        return env.now
+
+    assert env.run(until=env.process(proc())) == 0.0
+
+
+def test_run_until_deadline():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(10.0)
+        fired.append(True)
+
+    env.process(proc())
+    env.run(until=5.0)
+    assert env.now == 5.0 and not fired
+    env.run()
+    assert fired == [True]
+
+
+def test_run_until_past_deadline_rejected():
+    env = Environment()
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.run(until=0.5)
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+
+    def proc():
+        yield 42
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_until_event_exhausted_heap():
+    env = Environment()
+    never = env.event()
+    env.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_peek():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(3.0)
+    assert env.peek() == 3.0
+
+
+def test_cross_environment_yield_rejected():
+    env1, env2 = Environment(), Environment()
+
+    def proc():
+        yield env2.timeout(1.0)
+
+    env1.process(proc())
+    with pytest.raises(SimulationError):
+        env1.run()
+
+
+def test_suspend_stashes_wakeup():
+    env = Environment()
+    trace = []
+
+    def worker():
+        yield env.timeout(5.0)
+        trace.append(env.now)
+
+    p = env.process(worker())
+
+    def controller():
+        yield env.timeout(1.0)
+        p.suspend()
+        yield env.timeout(9.0)  # worker's timeout fired at t=5 while frozen
+        assert trace == []
+        p.unsuspend()
+
+    env.process(controller())
+    env.run()
+    assert trace == [10.0]
+
+
+def test_suspend_before_event_pending_is_noop_until_fire():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(2.0)
+        return env.now
+
+    p = env.process(worker())
+    p.suspend()
+    p.unsuspend()  # nothing stashed; normal wait continues
+    assert env.run(until=p) == 2.0
+
+
+def test_unsuspend_without_suspend_is_noop():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        return "ok"
+
+    p = env.process(worker())
+    p.unsuspend()
+    assert env.run(until=p) == "ok"

@@ -1,0 +1,228 @@
+"""Unit and property tests for Store / Resource / RngFactory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, RngFactory, SimulationError, Store
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield env.timeout(1.0)
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for _, item in got] == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer():
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer():
+        yield env.timeout(7.0)
+        yield store.put("x")
+
+    p = env.process(consumer())
+    env.process(producer())
+    assert env.run(until=p) == (7.0, "x")
+
+
+def test_store_capacity_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")  # blocks until 'a' consumed
+        times.append(("b", env.now))
+
+    def consumer():
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [("a", 0.0), ("b", 5.0)]
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("z")
+    assert store.try_get() == "z"
+    assert store.try_get() is None
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_multiple_getters_served_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    for name in ("first", "second"):
+        env.process(getter(name))
+
+    def putter():
+        yield env.timeout(1.0)
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(putter())
+    env.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_resource_mutual_exclusion():
+    env = Environment()
+    disk = Resource(env, capacity=1)
+    intervals = []
+
+    def writer(name, start, dur):
+        yield env.timeout(start)
+        yield disk.request()
+        begin = env.now
+        try:
+            yield env.timeout(dur)
+        finally:
+            disk.release()
+        intervals.append((name, begin, env.now))
+
+    env.process(writer("a", 0.0, 10.0))
+    env.process(writer("b", 1.0, 10.0))
+    env.run()
+    # b could not start until a finished
+    assert intervals == [("a", 0.0, 10.0), ("b", 10.0, 20.0)]
+
+
+def test_resource_capacity_two_allows_overlap():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    ends = []
+
+    def worker():
+        yield res.request()
+        try:
+            yield env.timeout(10.0)
+        finally:
+            res.release()
+        ends.append(env.now)
+
+    for _ in range(2):
+        env.process(worker())
+    env.run()
+    assert ends == [10.0, 10.0]
+
+
+def test_resource_release_without_request():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    res.request()
+    res.request()
+    assert res.queue_length == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(), max_size=40))
+def test_store_preserves_all_items_property(items):
+    """Everything put is got, exactly once, in order."""
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            out.append((yield store.get()))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert out == items
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(0, 100), st.floats(0.01, 10)), min_size=1,
+             max_size=20))
+def test_resource_never_oversubscribed_property(jobs):
+    """A capacity-1 resource never has overlapping holders."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holding = [0]
+    max_holding = [0]
+
+    def worker(start, dur):
+        yield env.timeout(start)
+        yield res.request()
+        holding[0] += 1
+        max_holding[0] = max(max_holding[0], holding[0])
+        try:
+            yield env.timeout(dur)
+        finally:
+            holding[0] -= 1
+            res.release()
+
+    for start, dur in jobs:
+        env.process(worker(start, dur))
+    env.run()
+    assert max_holding[0] == 1
+
+
+def test_rng_streams_deterministic_and_distinct():
+    f1 = RngFactory(42)
+    f2 = RngFactory(42)
+    a = f1.stream("hca0").integers(0, 2**31, size=8)
+    b = f2.stream("hca0").integers(0, 2**31, size=8)
+    c = f1.stream("hca1").integers(0, 2**31, size=8)
+    assert (a == b).all()
+    assert not (a == c).all()
+
+
+def test_rng_child_changes_streams():
+    f = RngFactory(42)
+    child = f.child("restarted-boot")
+    a = f.stream("qpnum").integers(0, 2**31, size=4)
+    b = child.stream("qpnum").integers(0, 2**31, size=4)
+    assert not (a == b).all()
