@@ -85,11 +85,13 @@ def grid_2d(nprocs: int) -> Tuple[int, int]:
 def alloc_scaled(ctx, name: str, logical_bytes: float,
                  real_cap: int = 65536):
     """Allocate a region of at most ``real_cap`` real bytes standing for
-    ``logical_bytes`` on the paper's testbed."""
+    ``logical_bytes`` on the paper's testbed.  Adopts an existing mapping
+    of the same size, so a kernel re-run against a restored checkpoint
+    image (chaos recovery) picks up its data instead of segfaulting."""
     real = int(min(max(4096, logical_bytes), real_cap))
     real = (real // 8) * 8
     scale = max(1.0, logical_bytes / real)
-    return ctx.memory.mmap(name, real, repr_scale=scale, tag="nas-data")
+    return ctx.memory.ensure(name, real, repr_scale=scale, tag="nas-data")
 
 
 @dataclass

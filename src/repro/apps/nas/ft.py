@@ -13,6 +13,7 @@ from typing import Generator
 
 import numpy as np
 
+from ...faults.progress import ChaosProgress, chaos_sync
 from .common import NAS, NasResult, alloc_scaled
 
 __all__ = ["ft_app"]
@@ -23,14 +24,21 @@ def ft_app(ctx, comm, klass: str = "B", iters_sim: int = 0) -> Generator:
     iters = iters_sim or spec.iters_sim
     nprocs = comm.size
 
+    # resumability: iteration counter and the running checksum (FT's only
+    # loop-carried scalar) persist in a checkpointed region so a crash
+    # recovery can re-enter this factory mid-benchmark
+    progress = ChaosProgress.attach(ctx)
+    start = progress.next_iter
+
     # local slab (genuine complex data, scaled logical size)
     data = alloc_scaled(ctx, f"{ctx.name}.ft.data",
                         spec.memory_per_proc(nprocs))
     m = (len(data.buffer) // 16 // 64) * 64  # complex128 count, 64-aligned
     field = data.as_ndarray(dtype=np.complex128)[:m]
-    rng = np.random.default_rng(4100 + comm.rank)
-    spread = np.exp(rng.normal(0.0, 30.0, m))
-    field[:] = (rng.random(m) + 1j * rng.random(m)) * spread
+    if start == 0:
+        rng = np.random.default_rng(4100 + comm.rank)
+        spread = np.exp(rng.normal(0.0, 30.0, m))
+        field[:] = (rng.random(m) + 1j * rng.random(m)) * spread
 
     # transpose buffers: n blocks each standing for slab/nprocs bytes
     n1, n2, n3 = spec.grid
@@ -39,10 +47,10 @@ def ft_app(ctx, comm, klass: str = "B", iters_sim: int = 0) -> Generator:
     block_real = int(min(4096, max(128, block_logical)))
     block_real = (block_real // 16) * 16
     scale = max(1.0, block_logical / block_real)
-    send_buf = ctx.memory.mmap(f"{ctx.name}.ft.send",
-                               block_real * nprocs, repr_scale=scale)
-    recv_buf = ctx.memory.mmap(f"{ctx.name}.ft.recv",
-                               block_real * nprocs, repr_scale=scale)
+    send_buf = ctx.memory.ensure(f"{ctx.name}.ft.send",
+                                 block_real * nprocs, repr_scale=scale)
+    recv_buf = ctx.memory.ensure(f"{ctx.name}.ft.recv",
+                                 block_real * nprocs, repr_scale=scale)
     sview = send_buf.as_ndarray(dtype=np.complex128)
     rview = recv_buf.as_ndarray(dtype=np.complex128)
     bc = block_real // 16  # complex per block
@@ -51,8 +59,8 @@ def ft_app(ctx, comm, klass: str = "B", iters_sim: int = 0) -> Generator:
 
     yield from comm.barrier()
     t_init = ctx.env.now
-    checksum = 0.0
-    for it in range(iters):
+    checksum = progress.get_scalar(0)
+    for it in range(start, iters):
         # evolve + FFT along the two local dimensions
         field *= np.exp(-1e-6 * (it + 1))
         chunk = field[:256].reshape(16, 16)
@@ -73,6 +81,9 @@ def ft_app(ctx, comm, klass: str = "B", iters_sim: int = 0) -> Generator:
             (local.real, local.imag),
             lambda a, b: (a[0] + b[0], a[1] + b[1]))
         checksum += abs(complex(*total))
+        progress.set_scalar(0, checksum)
+        progress.mark(it + 1)
+        yield from chaos_sync(ctx, comm)
     loop_seconds = ctx.env.now - t_init
 
     return NasResult(benchmark="FT", klass=klass, rank=comm.rank,

@@ -18,6 +18,7 @@ from typing import Generator
 
 import numpy as np
 
+from ...faults.progress import ChaosProgress, chaos_sync
 from .common import (NAS, NasResult, alloc_scaled, grid_2d,
                      interconnect_profile)
 
@@ -38,22 +39,29 @@ def lu_app(ctx, comm, klass: str = "C",
     north = comm.rank - px if iy > 0 else None
     south = comm.rank + px if iy < py - 1 else None
 
+    # resumability: the progress counter lives in a checkpointed region;
+    # after a crash recovery this factory re-runs with start > 0 against
+    # restored memory and must not re-initialise the field
+    progress = ChaosProgress.attach(ctx)
+    start = progress.next_iter
+
     data = alloc_scaled(ctx, f"{ctx.name}.lu.data",
                         spec.memory_per_proc(nprocs))
     state = data.as_ndarray(dtype=np.float64)
-    rng = np.random.default_rng(7700 + comm.rank)
-    # wide-exponent random field: like real NAS data it is essentially
-    # incompressible (Table 5: gzip saves ~1%)
-    state[:] = rng.random(len(state)) * np.exp(rng.normal(0.0, 20.0,
-                                                          len(state)))
+    if start == 0:
+        rng = np.random.default_rng(7700 + comm.rank)
+        # wide-exponent random field: like real NAS data it is essentially
+        # incompressible (Table 5: gzip saves ~1%)
+        state[:] = rng.random(len(state)) * np.exp(rng.normal(0.0, 20.0,
+                                                              len(state)))
 
     # halo strips: one full face per neighbour per sweep, logical size from
     # the class's true face bytes
     face_logical = spec.face_bytes(nprocs)
     strip_real = int(min(2048, max(64, face_logical)))
     strip_real = (strip_real // 8) * 8
-    halo = ctx.memory.mmap(f"{ctx.name}.lu.halo", 4 * strip_real,
-                           repr_scale=max(1.0, face_logical / strip_real))
+    halo = ctx.memory.ensure(f"{ctx.name}.lu.halo", 4 * strip_real,
+                             repr_scale=max(1.0, face_logical / strip_real))
     h = halo.as_ndarray(dtype=np.float64).reshape(4, strip_real // 8)
     sw = strip_real // 8
 
@@ -119,7 +127,7 @@ def lu_app(ctx, comm, klass: str = "C",
     yield from comm.barrier()
     t_init = ctx.env.now
     marks = []
-    for _it in range(iters):
+    for _it in range(start, iters):
         # lower-triangular sweep NW->SE, then upper SE->NW
         yield from sweep((north, west), (south, east), 0)
         yield from sweep((south, east), (north, west), 1)
@@ -130,6 +138,8 @@ def lu_app(ctx, comm, klass: str = "C",
             yield ctx.compute(seconds=os_noise)
         state *= 0.999  # keep values bounded
         marks.append((_it, ctx.env.now))
+        progress.mark(_it + 1)
+        yield from chaos_sync(ctx, comm)
     loop_seconds = ctx.env.now - t_init
 
     checksum = yield from comm.allreduce_obj(float(abs(state).sum()),

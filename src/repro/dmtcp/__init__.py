@@ -9,6 +9,7 @@ from .launcher import (
     AppSpec,
     CheckpointSet,
     DmtcpSession,
+    JobTracker,
     NativeSession,
     dmtcp_launch,
     dmtcp_restart,
@@ -33,6 +34,7 @@ __all__ = [
     "DmtcpProcess",
     "DmtcpSession",
     "ImageError",
+    "JobTracker",
     "NativeSession",
     "Plugin",
     "PluginError",

@@ -44,7 +44,20 @@ class Coordinator:
         self._ckpt_stats: List[dict] = []
         self._ckpt_done_evt: Optional[Event] = None
         self._all_connected = self.env.event()
-        self.env.process(self._accept_loop(), name="coord.accept")
+        self._procs = [self.env.process(self._accept_loop(),
+                                        name="coord.accept")]
+
+    def shutdown(self) -> None:
+        """Kill the coordinator's service loops and close its listener.
+
+        Needed when the job dies under it (fault injection): a client loop
+        parked mid-broadcast would otherwise wake into a torn-down network
+        and raise with nobody left to observe it."""
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.kill()
+        self._procs.clear()
+        self.listener.close()
 
     # -- connection handling ------------------------------------------------------
 
@@ -59,8 +72,9 @@ class Coordinator:
                     and len(self.clients) == self.expected
                     and not self._all_connected.triggered):
                 self._all_connected.succeed()
-            self.env.process(self._client_loop(handle),
-                             name=f"coord.client.{handle.name}")
+            self._procs.append(
+                self.env.process(self._client_loop(handle),
+                                 name=f"coord.client.{handle.name}"))
 
     def wait_all_connected(self) -> Event:
         return self._all_connected

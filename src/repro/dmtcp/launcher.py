@@ -17,11 +17,35 @@ __all__ = [
     "AppSpec",
     "CheckpointSet",
     "DmtcpSession",
+    "JobTracker",
     "dmtcp_launch",
     "dmtcp_restart",
     "native_launch",
     "NativeSession",
 ]
+
+
+@dataclass
+class JobTracker:
+    """Handles on a launch/restart in progress, for fault-time cleanup.
+
+    ``dmtcp_launch``/``dmtcp_restart`` run per-process flows as
+    environment-level processes; if the cluster dies mid-flow those
+    processes would eventually fail (e.g. a SYN retry loop timing out into
+    a torn-down network) with nobody observing.  A supervisor that passes a
+    tracker can :meth:`kill_all` to reap them deterministically.
+    """
+
+    coordinator: Optional[Coordinator] = None
+    procs: List = field(default_factory=list)
+
+    def kill_all(self) -> None:
+        for proc in self.procs:
+            if proc.is_alive:
+                proc.kill()
+        self.procs.clear()
+        if self.coordinator is not None:
+            self.coordinator.shutdown()
 
 
 @dataclass
@@ -119,7 +143,8 @@ def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
                  plugin_factory: Callable[[], list] = lambda: [],
                  costs: CostModel = DEFAULT_COSTS, gzip: bool = True,
                  ckpt_dir: str = "/tmp", disk_kind: str = "local",
-                 coord_node_index: int = 0) -> Generator:
+                 coord_node_index: int = 0,
+                 tracker: Optional[JobTracker] = None) -> Generator:
     """Process generator: start a coordinator and all processes under it.
 
     Every process's library table is populated (ibverbs when the node has
@@ -130,6 +155,8 @@ def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
     env = cluster.env
     coordinator = Coordinator(cluster.nodes[coord_node_index],
                               expected_clients=len(specs))
+    if tracker is not None:
+        tracker.coordinator = coordinator
     procs: List[DmtcpProcess] = []
     world = len(specs)
     launch_events = []
@@ -147,6 +174,8 @@ def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
             proc.launch(coordinator.node.name, coordinator.port,
                         spec.factory),
             name=f"launch.{spec.name}"))
+    if tracker is not None:
+        tracker.procs.extend(launch_events)
     yield env.all_of(launch_events)
     return DmtcpSession(env, cluster, coordinator, procs, costs)
 
@@ -156,7 +185,8 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                   disk_kind: str = "local",
                   node_map: Optional[Dict[int, int]] = None,
                   coord_node_index: int = 0,
-                  stage_images: bool = True) -> Generator:
+                  stage_images: bool = True,
+                  tracker: Optional[JobTracker] = None) -> Generator:
     """Process generator: restart a CheckpointSet on ``cluster`` (the same
     one or a different one — different LIDs, different qp_nums, possibly a
     different kernel or no InfiniBand at all)."""
@@ -167,6 +197,8 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
         ckpt_set.stage_to(cluster, disk_kind, node_map)
     coordinator = Coordinator(cluster.nodes[coord_node_index],
                               expected_clients=len(ckpt_set.records))
+    if tracker is not None:
+        tracker.coordinator = coordinator
     procs_by_name: Dict[str, DmtcpProcess] = {}
     flows = []
     for record in ckpt_set.records:
@@ -189,6 +221,8 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                                          coordinator.port)
 
         flows.append(env.process(flow(), name=f"restart.{record.name}"))
+    if tracker is not None:
+        tracker.procs.extend(flows)
     yield env.all_of(flows)
     procs = [procs_by_name[r.name] for r in ckpt_set.records]
     return DmtcpSession(env, cluster, coordinator, procs, costs)

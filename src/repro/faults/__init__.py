@@ -1,0 +1,63 @@
+"""Fault injection and chaos-driven recovery.
+
+The missing half of the fault-tolerance story: the rest of the package
+checkpoints healthy runs; this subsystem kills nodes, wedges HCAs, degrades
+links and slows cores on a seeded schedule, detects the resulting job
+failures, and drives recovery from the last checkpoint via the DMTCP
+coordinator/launcher path — so the restart machinery (Principles 3-6) is
+exercised under the conditions it exists for.
+
+Modules:
+
+* :mod:`.schedule` — failure-event distributions (fixed, trace, Poisson
+  per-node MTBF), all drawing from the reserved ``faults/`` RNG namespace;
+* :mod:`.models` — what each failure kind does to the hardware;
+* :mod:`.injector` — the scheduler process that applies events and
+  notifies waiters;
+* :mod:`.progress` — the in-image iteration-progress protocol resumable
+  applications speak;
+* :mod:`.recovery` — the coordinated-checkpoint gate and the
+  RecoveryManager retry/backoff loop;
+* :mod:`.harness` — end-to-end chaos runs of NAS kernels, restart-path
+  verification, and the Young/Daly optimal-interval math (imported
+  separately: ``repro.faults.harness``).
+"""
+
+from .injector import FailureRecord, Injector
+from .models import FATAL_KINDS, apply_failure
+from .progress import ChaosProgress, chaos_sync
+from .recovery import (
+    ChaosGate,
+    ChaosPlugin,
+    RecoveryConfig,
+    RecoveryError,
+    RecoveryManager,
+    RecoveryOutcome,
+    chaos_restart,
+)
+from .schedule import (
+    FailureEvent,
+    FixedSchedule,
+    PoissonSchedule,
+    TraceSchedule,
+)
+
+__all__ = [
+    "ChaosGate",
+    "ChaosPlugin",
+    "ChaosProgress",
+    "FATAL_KINDS",
+    "FailureEvent",
+    "FailureRecord",
+    "FixedSchedule",
+    "Injector",
+    "PoissonSchedule",
+    "RecoveryConfig",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryOutcome",
+    "TraceSchedule",
+    "apply_failure",
+    "chaos_restart",
+    "chaos_sync",
+]

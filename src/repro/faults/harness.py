@@ -1,0 +1,206 @@
+"""Chaos harness: NAS under fault injection, end to end.
+
+:func:`run_chaos_nas` assembles the whole stack — environment, seeded RNG,
+Poisson failure schedule, injector, recovery manager, a fresh cluster per
+job generation — runs a NAS kernel to completion through failures, and
+returns a :class:`ChaosOutcome`.  Everything stochastic descends from one
+root seed, so two same-seed runs are bit-for-bit identical.
+
+:func:`verify_restart_path` exercises the plugin's restart machinery under
+an *injected crash* (not a graceful teardown): freeze a live job, let the
+injector kill a node out from under it mid-flight, restart on a spare
+cluster, and report the plugin counters (WQE re-posts, CQ refills, modify
+replays) plus the id re-virtualization evidence.
+
+:func:`young_daly_interval` is the first-order optimal checkpoint period
+τ* = sqrt(2 · MTBF_job · C) the fault sweep validates against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..apps.nas import ft_app, lu_app
+from ..core import InfinibandPlugin
+from ..dmtcp import DEFAULT_COSTS, CostModel, dmtcp_launch, dmtcp_restart
+from ..hardware import BUFFALO_CCR, Cluster, HardwareSpec
+from ..mpi import make_mpi_specs
+from ..sim import Environment, RngFactory
+from .injector import FailureRecord, Injector
+from .models import apply_failure  # noqa: F401  (re-exported convenience)
+from .recovery import RecoveryConfig, RecoveryManager, RecoveryOutcome
+from .schedule import (FailureEvent, FailureSchedule, FixedSchedule,
+                       PoissonSchedule)
+
+__all__ = [
+    "ChaosOutcome",
+    "run_chaos_nas",
+    "verify_restart_path",
+    "young_daly_interval",
+]
+
+_APPS = {"lu": lu_app, "ft": ft_app}
+
+
+def young_daly_interval(mtbf_job: float, ckpt_cost: float) -> float:
+    """Young's first-order optimum τ* = sqrt(2 · MTBF_job · C), where
+    MTBF_job = mtbf_node / n_nodes and C is one checkpoint's wall cost."""
+    return math.sqrt(2.0 * mtbf_job * ckpt_cost)
+
+
+@dataclass
+class ChaosOutcome:
+    """One chaos run, fully described."""
+
+    app: str
+    klass: str
+    nprocs: int
+    n_nodes: int
+    mtbf_node: float
+    ckpt_interval: float
+    seed: int
+    checksum: float
+    recovery: RecoveryOutcome
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def completion_seconds(self) -> float:
+        return self.recovery.completion_seconds
+
+    def fingerprint(self) -> tuple:
+        """Everything that must be bit-identical across same-seed runs."""
+        return (self.checksum, self.completion_seconds,
+                self.recovery.n_failures, self.recovery.n_checkpoints,
+                self.recovery.n_restarts, self.recovery.lost_work,
+                tuple((r.t, r.kind, r.node_index, r.fatal, r.applied)
+                      for r in self.failures))
+
+
+def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
+                  ppn: int = 1, spec: HardwareSpec = BUFFALO_CCR,
+                  mtbf_node: float = 100.0, ckpt_interval: float = 10.0,
+                  seed: int = 2014, iters_sim: int = 0,
+                  kind: str = "node-crash",
+                  schedule: Optional[FailureSchedule] = None,
+                  max_attempts: int = 8, backoff_base: float = 0.5,
+                  backoff_factor: float = 2.0, backoff_max: float = 8.0,
+                  disk_kind: str = "local", gzip: bool = True,
+                  costs: CostModel = DEFAULT_COSTS) -> ChaosOutcome:
+    """Run one NAS kernel to completion under chaos; see module docstring.
+
+    ``schedule`` overrides the default per-node Poisson(``mtbf_node``)
+    schedule of ``kind`` failures (pass ``FixedSchedule([])`` for a
+    failure-free run, e.g. to measure the checkpoint cost C).
+    """
+    app_fn = _APPS[app]
+    env = Environment()
+    rng = RngFactory(seed)
+    n_nodes = max(1, -(-nprocs // ppn))
+
+    def wrapped(ctx, comm):
+        result = yield from app_fn(ctx, comm, klass=klass,
+                                   iters_sim=iters_sim)
+        return result
+
+    def cluster_factory(tag: str) -> Cluster:
+        return Cluster(env, spec, n_nodes=n_nodes, rng=rng,
+                       name=f"chaos-{app}{klass}-{seed}-{tag}")
+
+    def specs_for(cluster: Cluster):
+        return make_mpi_specs(cluster, nprocs, wrapped, ppn=ppn)
+
+    if schedule is None:
+        schedule = PoissonSchedule(rng, n_nodes=n_nodes,
+                                   mtbf_node=mtbf_node, kind=kind)
+    injector = Injector(env, schedule)
+    config = RecoveryConfig(
+        ckpt_interval=ckpt_interval, disk_kind=disk_kind, gzip=gzip,
+        max_attempts=max_attempts, backoff_base=backoff_base,
+        backoff_factor=backoff_factor, backoff_max=backoff_max)
+    manager = RecoveryManager(
+        env, cluster_factory, specs_for, config, costs=costs,
+        plugin_factory=lambda: [InfinibandPlugin(costs=costs)],
+        injector=injector)
+    recovery = env.run(until=env.process(manager.run()))
+    injector.stop()
+    return ChaosOutcome(
+        app=app, klass=klass, nprocs=nprocs, n_nodes=n_nodes,
+        mtbf_node=mtbf_node, ckpt_interval=ckpt_interval, seed=seed,
+        checksum=recovery.results[0].checksum, recovery=recovery,
+        failures=list(injector.records))
+
+
+def verify_restart_path(seed: int = 2014, klass: str = "A",
+                        nprocs: int = 4, ppn: int = 1,
+                        spec: HardwareSpec = BUFFALO_CCR,
+                        crash_node_index: int = 1,
+                        freeze_after: float = 0.25,
+                        costs: CostModel = DEFAULT_COSTS) -> Dict[str, Any]:
+    """Freeze a live LU job, crash a node *via the injector* instead of a
+    graceful teardown, restart on a spare cluster, and report the restart
+    path's evidence (satellite check of §3's principles under failure).
+
+    Returns a dict with per-plugin counters summed (``reposted_sends``,
+    ``reposted_recvs``, ``replayed_modifies``, ``drained_completions``),
+    the id re-virtualization booleans, and the completed job's results.
+    """
+    env = Environment()
+    rng = RngFactory(seed)
+    n_nodes = max(1, -(-nprocs // ppn))
+    cluster = Cluster(env, spec, n_nodes=n_nodes, rng=rng,
+                      name=f"vrp-{seed}-prod")
+    plugins: List[InfinibandPlugin] = []
+
+    def factory():
+        plugin = InfinibandPlugin(costs=costs)
+        plugins.append(plugin)
+        return [plugin]
+
+    def wrapped(ctx, comm):
+        result = yield from lu_app(ctx, comm, klass=klass)
+        return result
+
+    specs = make_mpi_specs(cluster, nprocs, wrapped, ppn=ppn)
+
+    def scenario():
+        session = yield from dmtcp_launch(cluster, specs,
+                                          plugin_factory=factory,
+                                          costs=costs)
+        yield env.timeout(freeze_after)  # mid-iteration, traffic in flight
+        ckpt = yield from session.checkpoint(intent="restart")
+        # the failure: a node dies for real (injector, not teardown) — the
+        # frozen continuations survive because the freeze detached them
+        injector = Injector(env, FixedSchedule([
+            FailureEvent(t=env.now + 1e-6, kind="node-crash",
+                         node_index=crash_node_index)]))
+        injector.set_target(cluster)
+        record = yield injector.arm()
+        cluster.teardown()  # power off the rest of the dead partition
+        spare = Cluster(env, spec, n_nodes=n_nodes, rng=rng,
+                        name=f"vrp-{seed}-spare")
+        session2 = yield from dmtcp_restart(spare, ckpt, costs=costs)
+        results = yield from session2.wait()
+        return record, results
+
+    record, results = env.run(until=env.process(scenario()))
+
+    counters = {key: sum(p.stats[key] for p in plugins)
+                for key in ("reposted_sends", "reposted_recvs",
+                            "replayed_modifies", "drained_completions")}
+    qps = [vqp for p in plugins for vqp in p.qps]
+    mrs = [vmr for p in plugins for vmr in p.mrs]
+    ctxs = [vctx for p in plugins for vctx in p.contexts]
+    return {
+        "crash": record,
+        "results": results,
+        "checksum": results[0].checksum,
+        "counters": counters,
+        "qps_remapped": bool(qps) and all(
+            vqp.qp_num != vqp.real.qp_num for vqp in qps),
+        "mrs_remapped": bool(mrs) and all(
+            vmr.rkey != vmr.real.rkey for vmr in mrs),
+        "lids_remapped": bool(ctxs) and all(
+            vctx.vlid != vctx.real_lid for vctx in ctxs),
+    }

@@ -1,0 +1,86 @@
+"""What each failure kind does to the simulated hardware.
+
+Fatal kinds (whole-node crash, HCA failure, fabric partition) break the
+job irrecoverably in place — processes die or wedge — and are what the
+RecoveryManager restarts from checkpoint.  Transient kinds (link
+degradation, straggler node) perturb performance for a bounded duration
+and heal on their own; the job limps through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..hardware.cluster import Cluster
+from .schedule import FailureEvent
+
+__all__ = ["AppliedFailure", "FAILURE_KINDS", "FATAL_KINDS", "apply_failure"]
+
+FATAL_KINDS = frozenset({"node-crash", "hca-fail", "link-partition"})
+TRANSIENT_KINDS = frozenset({"link-degrade", "straggler"})
+FAILURE_KINDS = FATAL_KINDS | TRANSIENT_KINDS
+
+
+@dataclass
+class AppliedFailure:
+    """The outcome of applying one event to a cluster."""
+
+    detail: str
+    fatal: bool
+    heal: Optional[Callable[[], None]] = None  # transient: undo
+    heal_after: float = 0.0                    # seconds until heal
+
+
+def apply_failure(cluster: Cluster, event: FailureEvent) -> AppliedFailure:
+    """Mutate ``cluster`` per ``event``; returns what happened and how (for
+    transient kinds) to undo it after ``heal_after`` seconds."""
+    node = cluster.nodes[event.node_index % len(cluster.nodes)]
+    kind = event.kind
+    fatal = kind in FATAL_KINDS
+
+    if kind == "node-crash":
+        if node.failed:
+            return AppliedFailure(f"{node.name}: already down", fatal)
+        node.fail()
+        return AppliedFailure(f"{node.name}: node crash", fatal)
+
+    if kind == "hca-fail":
+        if node.hca is None:
+            return AppliedFailure(f"{node.name}: no HCA to fail", False)
+        if node.hca.failed:
+            return AppliedFailure(f"{node.name}: HCA already dead", fatal)
+        node.hca.fail()
+        return AppliedFailure(f"{node.name}: HCA failure", fatal)
+
+    if kind == "link-partition":
+        fabric = cluster.fabric
+        if fabric is None or node.hca is None or node.hca.lid is None:
+            return AppliedFailure(
+                f"{node.name}: not on a fabric to partition", False)
+        fabric.partition([node.hca.lid])
+        return AppliedFailure(
+            f"{node.name}: partitioned off the fabric", fatal)
+
+    if kind == "link-degrade":
+        network = cluster.fabric if cluster.fabric is not None \
+            else cluster.ethernet
+        bw = float(event.params.get("bandwidth_factor", 0.1))
+        lat = float(event.params.get("latency_factor", 10.0))
+        duration = float(event.params.get("duration", 1.0))
+        network.degrade(bandwidth_factor=bw, latency_factor=lat)
+        return AppliedFailure(
+            f"{network.name}: degraded to {bw:.2g}x bw, {lat:.2g}x latency "
+            f"for {duration:.3g}s", fatal=False,
+            heal=network.heal, heal_after=duration)
+
+    if kind == "straggler":
+        factor = float(event.params.get("factor", 4.0))
+        duration = float(event.params.get("duration", 1.0))
+        node.slow_down(factor)
+        return AppliedFailure(
+            f"{node.name}: straggling {factor:.2g}x slower for "
+            f"{duration:.3g}s", fatal=False,
+            heal=node.restore_speed, heal_after=duration)
+
+    raise ValueError(f"unknown failure kind {kind!r}")

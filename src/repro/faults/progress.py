@@ -1,0 +1,93 @@
+"""The progress protocol resumable applications speak.
+
+A Python generator cannot be copied, so an intent="resume" checkpoint
+cannot be rewound by re-entering its old continuation — after a *crash*
+(as opposed to a planned freeze) the only durable state is the checkpoint
+image's memory.  Chaos recovery therefore re-runs the application factory
+against the restored address space, and the application itself must be
+*resumable*: it keeps an iteration counter (plus any loop-carried scalars)
+in a small named memory region that rides inside every checkpoint image,
+skips initialisation and completed iterations when the counter is nonzero,
+and parks at a coordinated iteration boundary when a checkpoint is
+requested so the captured cut is globally consistent.
+
+This module has no dependency on the rest of the faults subsystem: the
+gate object is duck-typed (``requested`` flag + ``park()`` generator) and
+reaches the application lazily via ``ctx.chaos_gate``, so applications that
+import this run byte-identically when no chaos harness is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..memory.address_space import MemoryError_
+
+__all__ = ["ChaosProgress", "chaos_sync"]
+
+_MAGIC = 0x43484153  # "CHAS"
+_REGION_BYTES = 64   # 2 int64 header words + 6 float64 scalar slots
+_N_SCALARS = 6
+
+
+class ChaosProgress:
+    """An iteration counter (and a few scalar slots) living in process
+    memory, so it is captured by — and restored from — checkpoint images."""
+
+    def __init__(self, region):
+        self.region = region
+        self._words = region.as_ndarray(dtype=np.int64)[:2]
+        self._scalars = region.as_ndarray(dtype=np.float64)[2:2 + _N_SCALARS]
+
+    @classmethod
+    def attach(cls, ctx) -> "ChaosProgress":
+        """Map (first run) or adopt (restored image) the progress region."""
+        name = f"{ctx.name}.chaos.progress"
+        try:
+            region = ctx.memory.region(name)
+        except MemoryError_:
+            region = ctx.memory.mmap(name, _REGION_BYTES, tag="chaos")
+        progress = cls(region)
+        if progress._words[0] != _MAGIC:
+            progress._words[0] = _MAGIC
+            progress._words[1] = 0
+            progress._scalars[:] = 0.0
+        return progress
+
+    @property
+    def next_iter(self) -> int:
+        """The first iteration that has NOT completed (0 on a fresh run)."""
+        return int(self._words[1])
+
+    def mark(self, completed_through: int) -> None:
+        """Record that iterations [0, completed_through) are done.  Call at
+        the end of each iteration, *before* :func:`chaos_sync`, so a
+        checkpoint taken at the park point restores to the next iteration."""
+        self._words[1] = completed_through
+
+    def get_scalar(self, slot: int) -> float:
+        """Read a loop-carried scalar (e.g. FT's running checksum)."""
+        return float(self._scalars[slot])
+
+    def set_scalar(self, slot: int, value: float) -> None:
+        self._scalars[slot] = value
+
+
+def chaos_sync(ctx, comm) -> Generator:
+    """End-of-iteration checkpoint window (no-op without a chaos gate).
+
+    Every rank contributes its local view of the gate's request flag to an
+    OR-allreduce, so even a flag raised midway through the round yields the
+    same verdict on every rank; on a positive verdict all ranks park at the
+    end of the *same* iteration, giving the checkpoint an
+    iteration-consistent global cut.
+    """
+    gate = getattr(ctx, "chaos_gate", None)
+    if gate is None:
+        return
+    flag = 1 if gate.requested else 0
+    verdict = yield from comm.allreduce_obj(flag, lambda a, b: a | b)
+    if verdict:
+        yield from gate.park()

@@ -46,6 +46,7 @@ class HCA:
         self.port: Optional[NetworkPort] = None
         self._qp_rx: Dict[int, Callable[[Any], None]] = {}
         self.packets_rx = 0
+        self.failed = False
 
     # -- subnet-manager attachment -------------------------------------------
 
@@ -60,6 +61,15 @@ class HCA:
             self.port.detach()
             self.port = None
             self.lid = None
+
+    def fail(self) -> None:
+        """Adapter failure (firmware wedge / cable pull): the port drops off
+        the fabric and every subsequent send is silently black-holed — the
+        local process observes only missing completions, exactly how a real
+        wedged HCA presents, so surviving threads hang rather than crash
+        until the job-level failure detector tears the run down."""
+        self.failed = True
+        self.detach()
 
     # -- id allocation (the values that change on restart) --------------------
 
@@ -89,6 +99,10 @@ class HCA:
     def hw_send(self, dst_lid: int, packet: dict,
                 size: float) -> Generator:
         """Process generator: serialize ``size`` logical bytes onto the wire."""
+        if self.failed:
+            # a wedged adapter accepts the doorbell and never completes
+            yield self.env.timeout(0.0)
+            return
         if self.port is None:
             raise HCAError(f"{self.name}: not attached to a fabric")
         yield from self.port.send(dst_lid, packet, size)

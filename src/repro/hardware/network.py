@@ -76,6 +76,11 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0.0
         self.dropped_in_flight = 0
+        # fault injection state
+        self._base_latency = self.latency
+        self._base_bandwidth = self.bandwidth
+        self.degraded = False
+        self._partitioned: set = set()  # endpoint ids cut off the switch
 
     def attach(self, endpoint_id: Hashable,
                handler: Callable[[Any], None]) -> NetworkPort:
@@ -102,7 +107,8 @@ class Network:
                 self.dropped_in_flight += 1
                 return
             port = self._ports.get(dst_id)
-            if port is None or not port.attached:
+            if port is None or not port.attached \
+                    or dst_id in self._partitioned:
                 self.dropped_in_flight += 1  # silently dropped by the switch
                 return
             port.handler(payload)
@@ -113,6 +119,33 @@ class Network:
     def transfer_time(self, size: float) -> float:
         """Unloaded one-way time for a ``size``-byte message."""
         return self.latency + self.per_message_overhead + size / self.bandwidth
+
+    # -- fault injection ------------------------------------------------------
+
+    def degrade(self, bandwidth_factor: float = 1.0,
+                latency_factor: float = 1.0) -> None:
+        """Link degradation (flapping optics, congested uplink): scale
+        bandwidth down by ``bandwidth_factor`` (< 1) and latency up by
+        ``latency_factor`` (> 1) until :meth:`heal`.  Transfers already
+        serializing keep their old timing — only new sends see the change,
+        as with a real renegotiated link rate."""
+        self.degraded = True
+        self.bandwidth = self._base_bandwidth * bandwidth_factor
+        self.latency = self._base_latency * latency_factor
+
+    def partition(self, endpoint_ids) -> None:
+        """Cut the listed endpoints off the switch: traffic to them is
+        silently dropped (they can still transmit).  Under a reliable
+        transport with no retransmit timer this wedges the job — which is
+        why the injector classifies partitions as fatal."""
+        self._partitioned.update(endpoint_ids)
+
+    def heal(self) -> None:
+        """Undo :meth:`degrade` and :meth:`partition`."""
+        self.degraded = False
+        self.bandwidth = self._base_bandwidth
+        self.latency = self._base_latency
+        self._partitioned.clear()
 
     def teardown(self) -> None:
         """Drop all in-flight packets and invalidate the wire (power fail /

@@ -37,11 +37,46 @@ class Node:
         self.lustre = lustre
         self.eth_port: Optional[NetworkPort] = None  # set by the cluster
         self.processes: List["ProcessHost"] = []
+        self.failed = False
+        self._base_gflops = gflops_per_core
 
     def fork(self, name: str) -> "ProcessHost":
+        if self.failed:
+            raise ProcessError(f"{self.name}: fork on failed node")
         proc = ProcessHost(self, name)
         self.processes.append(proc)
         return proc
+
+    # -- fault injection -------------------------------------------------------
+
+    def fail(self) -> None:
+        """Whole-node crash (kernel panic / power loss): every process is
+        hard-killed, the HCA drops off the fabric, the NIC drops off the
+        Ethernet segment.  In-flight packets addressed here are silently
+        dropped by the switches — the condition the paper's Principle 6
+        (re-post on restart) exists for."""
+        if self.failed:
+            return
+        self.failed = True
+        for proc in list(self.processes):
+            proc.kill()
+        if self.hca is not None:
+            self.hca.fail()
+        stack = getattr(self, "_tcp_stack", None)
+        if stack is not None:
+            stack._port.detach()
+        if self.eth_port is not None:
+            self.eth_port.detach()
+
+    def slow_down(self, factor: float) -> None:
+        """Straggler injection: the node computes ``factor``x slower
+        (thermal throttling / a co-scheduled job) until :meth:`restore_speed`."""
+        if factor <= 0:
+            raise ProcessError(f"slow_down factor must be positive: {factor}")
+        self.gflops_per_core = self._base_gflops / factor
+
+    def restore_speed(self) -> None:
+        self.gflops_per_core = self._base_gflops
 
     def disk(self, kind: str) -> Disk:
         if kind == "local":

@@ -100,6 +100,27 @@ class AddressSpace:
         self._by_name[name] = region
         return region
 
+    def ensure(self, name: str, size: int, repr_scale: float = 1.0,
+               tag: str = "") -> Region:
+        """Map ``name`` if absent, else adopt the existing mapping.
+
+        Restart-aware allocation: code that runs both at first launch and
+        again after a checkpoint image was restored into this address space
+        (which re-creates the original regions) uses this instead of
+        :meth:`mmap` so the second run adopts the restored region — and its
+        restored bytes — rather than segfaulting on a duplicate mapping.
+        The size must match the restored region's exactly.
+        """
+        region = self._by_name.get(name)
+        if region is None:
+            return self.mmap(name, size, repr_scale=repr_scale, tag=tag)
+        if region.size != size:
+            raise MemoryError_(
+                f"ensure({name!r}): existing region is {region.size} bytes, "
+                f"requested {size}")
+        region.repr_scale = repr_scale
+        return region
+
     def munmap(self, region: Region) -> None:
         if region.pinned:
             raise MemoryError_(f"cannot unmap pinned region {region.name!r}")

@@ -59,15 +59,17 @@ class IbBtl:
         self.srq = ibv.create_srq(self.pd, max_wr=_N_CTRL_SLOTS + 16)
         self.lid = ibv.query_port(self.ibctx).lid
         # control slots: one region, N slots, pre-posted to the SRQ
-        self.ctrl = ctx.memory.mmap(f"{ctx.name}.mpi.ctrl",
-                                    CTRL_SLOT * _N_CTRL_SLOTS)
+        # (ensure: a chaos restart restores these regions before the BTL
+        # is rebuilt from scratch, so adopt rather than remap)
+        self.ctrl = ctx.memory.ensure(f"{ctx.name}.mpi.ctrl",
+                                      CTRL_SLOT * _N_CTRL_SLOTS)
         self.ctrl_mr = ibv.reg_mr(self.pd, self.ctrl.addr,
                                   self.ctrl.size, _FULL)
         for slot in range(_N_CTRL_SLOTS):
             self._post_ctrl_slot(slot)
         # send staging ring for control messages
-        self.stage = ctx.memory.mmap(f"{ctx.name}.mpi.stage",
-                                     CTRL_SLOT * 64)
+        self.stage = ctx.memory.ensure(f"{ctx.name}.mpi.stage",
+                                       CTRL_SLOT * 64)
         self.stage_mr = ibv.reg_mr(self.pd, self.stage.addr,
                                    self.stage.size, _FULL)
         self._stage_next = 0

@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, Optional, Tuple
 
-from ..hardware.network import Network
+from ..hardware.network import Network, NetworkError
 from ..hardware.node import Node
 from ..sim import Environment, Store
 
@@ -161,11 +161,14 @@ class TcpStack:
                 local_cid = conn.local_cid
 
             def synack(local_cid=local_cid):
-                yield from self._tx(
-                    frame["from_host"],
-                    {"kind": "data", "cid": frame["from_cid"],
-                     "payload": {"kind": "synack", "cid": local_cid}},
-                    CONTROL_BYTES)
+                try:
+                    yield from self._tx(
+                        frame["from_host"],
+                        {"kind": "data", "cid": frame["from_cid"],
+                         "payload": {"kind": "synack", "cid": local_cid}},
+                        CONTROL_BYTES)
+                except NetworkError:
+                    return  # segment died under us; peer's SYN retry covers
 
             self.env.process(synack(), name="tcp.synack")
         elif kind == "data":

@@ -154,7 +154,17 @@ class Process(Event):
         return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a process that has already terminated raises
+        :class:`SimulationError` (the defined-error analogue of signalling
+        a reaped pid).  If the process terminates between this call and
+        the interrupt's delivery (both at the current simulated time), the
+        interrupt is silently dropped — the race a real kernel resolves
+        the same way.  Interrupting a :meth:`suspend`-ed process delivers
+        immediately and cancels the suspension (and any stashed wake-up):
+        the interrupt supersedes whatever the process was waiting for.
+        """
         if self.triggered:
             raise SimulationError(f"{self.name} has already terminated")
         env = self.env
@@ -163,13 +173,20 @@ class Process(Event):
         def _do_interrupt(_evt: Event) -> None:
             if proc.triggered:
                 return
-            # Detach from whatever we were waiting on.
-            if proc._target is not None and proc._target.callbacks is not None:
-                try:
-                    proc._target.callbacks.remove(proc._resume)
-                except ValueError:
-                    pass
+            # Detach from whatever we were waiting on; if the abandoned
+            # event later fails with no other waiter, that failure is ours
+            # to ignore (we are no longer interested), so defuse it.
+            target = proc._target
+            if target is not None:
+                if target.callbacks is not None:
+                    try:
+                        target.callbacks.remove(proc._resume)
+                    except ValueError:
+                        pass
+                target._defused = True
             proc._target = None
+            proc._stash = None
+            proc._suspended = False
             proc._step(Interrupt(cause), throw=True)
 
         kick = Event(env)
@@ -181,12 +198,16 @@ class Process(Event):
         blocks at a later simulated time (used for cluster teardown)."""
         if self.triggered:
             return
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if self._target is not None:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            # a failure of the abandoned event concerns nobody now
+            self._target._defused = True
         self._target = None
+        self._stash = None
         self._generator.close()
         self._ok = True
         self._value = None
@@ -211,6 +232,7 @@ class Process(Event):
             wake._ok = ok
             wake._value = value
             wake.callbacks.append(self._resume)
+            self._target = wake
             self.env._schedule(wake)
 
     @property
@@ -261,17 +283,20 @@ class Process(Event):
             return
         if target.env is not self.env:
             raise SimulationError("yielded event from a foreign environment")
-        self._target = target
         if target.callbacks is None:
-            # already processed: wake immediately (same timestamp)
+            # already processed: wake immediately (same timestamp).  The
+            # wake (not the processed target) is what we are waiting on,
+            # so interrupt()/kill() can detach us from it.
             wake = Event(self.env)
             wake._ok = target._ok
             wake._value = target._value
             if not target._ok:
                 target._defused = True
             wake.callbacks.append(self._resume)
+            self._target = wake
             self.env._schedule(wake)
         else:
+            self._target = target
             target.callbacks.append(self._resume)
 
 

@@ -31,3 +31,13 @@ class RngFactory:
         digest = hashlib.sha256(
             f"{self.root_seed}:{name}:child".encode()).digest()
         return RngFactory(int.from_bytes(digest[:8], "little"))
+
+    def fault_stream(self, name: str) -> np.random.Generator:
+        """A stream in the reserved ``faults/`` namespace.
+
+        The fault injector draws exclusively from here; because streams are
+        derived by name (not by draw order), enabling fault injection can
+        never perturb any other component's randomness — a faults-off run
+        is bit-identical whether or not the faults subsystem is loaded.
+        """
+        return self.stream(f"faults/{name}")

@@ -484,3 +484,162 @@ def test_translate_rkey_identity_before_restart():
                     vsend_cq=None, vrecv_cq=None, vsrq=None,
                     sq_sig_all=False)
     assert plugin.translate_rkey(vqp, 4242) == 4242
+
+
+# -- restart under injected failure (the chaos path) -------------------------------
+# The graceful _restart_scenario above tears the old cluster down politely;
+# these variants crash a node out from under the frozen job first — the
+# fault-injection subsystem's precondition for every recovery.
+
+from repro.faults import FailureEvent, FixedSchedule, Injector  # noqa: E402
+
+
+def _crash_then_restart(env, cluster, ckpt, spare_name, crash_node=1,
+                        n_nodes=2):
+    """Crash ``crash_node`` via the injector, tear down the rest, restart
+    the CheckpointSet on a spare cluster; returns (record, session2)."""
+    def flow():
+        injector = Injector(env, FixedSchedule([
+            FailureEvent(t=env.now + 1e-6, kind="node-crash",
+                         node_index=crash_node)]))
+        injector.set_target(cluster)
+        record = yield injector.arm()
+        cluster.teardown()
+        spare = Cluster(env, BUFFALO_CCR, n_nodes=n_nodes, name=spare_name)
+        session2 = yield from dmtcp_restart(spare, ckpt)
+        return record, session2
+
+    return flow()
+
+
+def test_injected_crash_restart_pingpong_completes():
+    """A node crash (not a graceful teardown) between freeze and restart:
+    the frozen continuations survive the crash because the freeze detached
+    them, and the job completes on the spare cluster with every payload."""
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=2, name="crash-prod")
+    plugins = []
+
+    def factory():
+        p = InfinibandPlugin()
+        plugins.append(p)
+        return [p]
+
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, _pp_specs(cluster, iters=250), plugin_factory=factory)))
+
+    def scenario():
+        yield env.timeout(0.002)
+        ckpt = yield from session.checkpoint(intent="restart")
+        record, session2 = yield from _crash_then_restart(
+            env, cluster, ckpt, "crash-spare")
+        results = yield from session2.wait()
+        return record, results
+
+    record, results = env.run(until=env.process(scenario()))
+    assert record.kind == "node-crash" and record.fatal and record.applied
+    assert all(r["errors"] == 0 for r in results)
+    assert all(r["iters"] == 250 for r in results)
+    # the restart replayed the QP state ladder against fresh real ids
+    for plugin in plugins:
+        assert plugin.stats["replayed_modifies"] >= 3
+        for vqp in plugin.qps:
+            assert vqp.qp_num != vqp.real.qp_num
+        for vmr in plugin.mrs:
+            assert vmr.rkey != vmr.real.rkey
+        for vctx in plugin.contexts:
+            assert vctx.vlid != vctx.real_lid
+
+
+def test_injected_crash_private_cq_refill_first():
+    """Principle 5 under failure: a completion that landed in the real CQ
+    before the freeze is drained into the private queue; after the crash
+    and restart the app's first poll is served from that private queue —
+    the fresh real CQ on the spare cluster never saw the message."""
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=2, name="refill-prod")
+    state = {}
+    plugins = []
+
+    def factory():
+        p = InfinibandPlugin()
+        plugins.append(p)
+        return [p]
+
+    def sender(ctx):
+        ibv = ctx.ibv
+        ibctx = ibv.open_device(ibv.get_device_list()[0])
+        pd = ibv.alloc_pd(ibctx)
+        cq = ibv.create_cq(ibctx)
+        buf = ctx.memory.mmap("s.buf", 64)
+        mr = ibv.reg_mr(pd, buf.addr, 64, FULL)
+        qp = ibv.create_qp(pd, ibv_qp_init_attr(send_cq=cq, recv_cq=cq))
+        state["sender"] = {"lid": ibv.query_port(ibctx).lid,
+                           "qpn": qp.qp_num}
+        while "receiver" not in state:
+            yield ctx.sleep(1e-5)
+        qp_to_init(ibv, qp)
+        qp_to_rtr(ibv, qp, state["receiver"]["qpn"],
+                  state["receiver"]["lid"])
+        qp_to_rts(ibv, qp)
+        while not state.get("recv_ready"):
+            yield ctx.sleep(1e-5)
+        buf.as_ndarray()[:8] = np.frombuffer(b"DRAINED!", dtype=np.uint8)
+        ibv.post_send(qp, ibv_send_wr(1, [ibv_sge(buf.addr, 8, mr.lkey)],
+                                      opcode=WrOpcode.SEND))
+        # poll the send completion NOW, pre-freeze, so the send log is
+        # clear and nothing gets re-posted at restart
+        while not ibv.poll_cq(cq, 1):
+            yield ctx.sleep(1e-4)
+        state["sent_and_completed"] = True
+        while not state.get("resume_now"):
+            yield ctx.sleep(1e-4)
+        return "sender-done"
+
+    def receiver(ctx):
+        ibv = ctx.ibv
+        ibctx = ibv.open_device(ibv.get_device_list()[0])
+        pd = ibv.alloc_pd(ibctx)
+        cq = ibv.create_cq(ibctx)
+        buf = ctx.memory.mmap("r.buf", 64)
+        mr = ibv.reg_mr(pd, buf.addr, 64, FULL)
+        qp = ibv.create_qp(pd, ibv_qp_init_attr(send_cq=cq, recv_cq=cq))
+        state["receiver"] = {"lid": ibv.query_port(ibctx).lid,
+                             "qpn": qp.qp_num}
+        while "sender" not in state:
+            yield ctx.sleep(1e-5)
+        qp_to_init(ibv, qp)
+        # post the receive BEFORE the send happens: the transfer completes
+        # into the real CQ pre-freeze, but we deliberately do not poll it
+        ibv.post_recv(qp, ibv_recv_wr(9, [ibv_sge(buf.addr, 64, mr.lkey)]))
+        qp_to_rtr(ibv, qp, state["sender"]["qpn"], state["sender"]["lid"])
+        qp_to_rts(ibv, qp)
+        state["recv_ready"] = True
+        while not state.get("resume_now"):
+            yield ctx.sleep(1e-4)
+        wcs = ibv.poll_cq(cq, 16)  # first poll after restart
+        state["first_poll"] = wcs
+        return bytes(buf.buffer[:8])
+
+    def scenario():
+        session = yield from dmtcp_launch(
+            cluster,
+            [AppSpec(0, "snd", sender), AppSpec(1, "rcv", receiver)],
+            plugin_factory=factory)
+        while not state.get("sent_and_completed"):
+            yield env.timeout(1e-4)
+        yield env.timeout(1e-3)
+        ckpt = yield from session.checkpoint(intent="restart")
+        record, session2 = yield from _crash_then_restart(
+            env, cluster, ckpt, "refill-spare", crash_node=0)
+        state["resume_now"] = True
+        results = yield from session2.wait()
+        return results
+
+    results = env.run(until=env.process(scenario()))
+    assert results[1] == b"DRAINED!"
+    # the completion was drained at freeze and served private-queue-first:
+    # nothing was re-posted, so only the refill could have delivered it
+    assert sum(p.stats["drained_completions"] for p in plugins) >= 1
+    assert sum(p.stats["reposted_sends"] for p in plugins) == 0
+    assert [wc.wr_id for wc in state["first_poll"]] == [9]

@@ -136,3 +136,52 @@ def test_drain_settle_too_short_for_slow_fabric_loses_imm_writes():
     # either outcome is allowed here — the point is the safe case works —
     # but it must not corrupt silently if it does complete
     run(settle=0.05e-3)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.floats(min_value=5e-4, max_value=8e-3),
+       st.integers(min_value=0, max_value=1))
+def test_injected_crash_at_arbitrary_instant_restart_survives(ckpt_at,
+                                                              crash_node):
+    """The chaos variant of the arbitrary-instant property: freeze at any
+    instant, then a node-crash from the fault injector (either node) kills
+    the live cluster before restart — every payload still arrives and
+    every post-restart id is freshly virtualized."""
+    from repro.faults import FailureEvent, FixedSchedule, Injector
+
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=2,
+                      name=f"chaosprop-{ckpt_at:.5f}-{crash_node}")
+    plugins = []
+
+    def factory():
+        p = InfinibandPlugin()
+        plugins.append(p)
+        return [p]
+
+    session = env.run(until=env.process(dmtcp_launch(
+        cluster, _pp_specs(cluster, iters=300), plugin_factory=factory)))
+
+    def scenario():
+        yield env.timeout(ckpt_at)
+        ckpt = yield from session.checkpoint(intent="restart")
+        injector = Injector(env, FixedSchedule([
+            FailureEvent(t=env.now + 1e-6, kind="node-crash",
+                         node_index=crash_node)]))
+        injector.set_target(cluster)
+        record = yield injector.arm()
+        assert record.fatal and record.applied
+        cluster.teardown()
+        cluster2 = Cluster(env, BUFFALO_CCR, n_nodes=2,
+                           name=f"chaosprop2-{ckpt_at:.5f}-{crash_node}")
+        session2 = yield from dmtcp_restart(cluster2, ckpt)
+        return (yield from session2.wait())
+
+    results = env.run(until=env.process(scenario()))
+    assert all(r["errors"] == 0 for r in results)
+    assert all(r["iters"] == 300 for r in results)
+    for plugin in plugins:
+        for vqp in plugin.qps:
+            assert vqp.qp_num != vqp.real.qp_num
+        for vmr in plugin.mrs:
+            assert vmr.rkey != vmr.real.rkey

@@ -334,3 +334,199 @@ def test_unsuspend_without_suspend_is_noop():
     p = env.process(worker())
     p.unsuspend()
     assert env.run(until=p) == "ok"
+
+
+# -- interrupt semantics under composite waits and races --------------------------
+# (the contracts the fault injector and recovery manager rely on)
+
+
+def test_interrupt_blocked_on_any_of():
+    """Interrupting a process parked on AnyOf detaches it cleanly; the
+    abandoned children firing later neither resume it twice nor crash the
+    environment."""
+    env = Environment()
+    trace = []
+
+    def worker():
+        try:
+            yield env.any_of([env.timeout(5.0), env.timeout(7.0)])
+            trace.append("completed")
+        except Interrupt as intr:
+            trace.append(("interrupted", intr.cause, env.now))
+        yield env.timeout(10.0)  # keep living past the stale children
+        trace.append(("alive", env.now))
+
+    p = env.process(worker())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        p.interrupt("chaos")
+
+    env.process(interrupter())
+    env.run()
+    assert trace == [("interrupted", "chaos", 1.0), ("alive", 11.0)]
+
+
+def test_interrupt_blocked_on_all_of():
+    env = Environment()
+    trace = []
+
+    def worker():
+        try:
+            yield env.all_of([env.timeout(3.0), env.timeout(4.0)])
+            trace.append("completed")
+        except Interrupt:
+            trace.append(("interrupted", env.now))
+        return "done"
+
+    p = env.process(worker())
+
+    def interrupter():
+        yield env.timeout(2.0)
+        p.interrupt()
+
+    env.process(interrupter())
+    env.run()
+    assert trace == [("interrupted", 2.0)]
+    assert p.value == "done"
+
+
+def test_interrupt_detaches_from_later_failing_event():
+    """After an interrupt, the abandoned event failing must not surface as
+    an unobserved error (the injector interrupts launch drivers whose
+    sub-flows die later)."""
+    env = Environment()
+    doomed = env.event()
+
+    def worker():
+        try:
+            yield doomed
+        except Interrupt:
+            pass
+        yield env.timeout(5.0)
+        return "survived"
+
+    p = env.process(worker())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        p.interrupt()
+        yield env.timeout(1.0)
+        doomed.fail(RuntimeError("nobody listens"))
+
+    env.process(interrupter())
+    env.run()  # would raise RuntimeError if the failure were not defused
+    assert p.value == "survived"
+
+
+def test_interrupt_same_time_termination_race_is_dropped():
+    """Interrupt delivery is deferred within the timestep; if the victim
+    terminates naturally first, the interrupt is silently dropped (the
+    signal-to-reaped-pid race, resolved the way a kernel resolves it)."""
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1.0)
+        return "natural"
+
+    # NOTE creation order: the interrupter runs first at t=1.0, so the
+    # kick event pops after the victim has already terminated
+    holder = {}
+
+    def interrupter():
+        yield env.timeout(1.0)
+        holder["victim"].interrupt("too-late")
+
+    env.process(interrupter())
+    holder["victim"] = env.process(victim())
+    env.run()
+    assert holder["victim"].value == "natural"
+
+
+def test_interrupt_terminated_process_is_defined_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0.5)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupt_suspended_process_cancels_suspension():
+    """An interrupt supersedes a quiesce: it delivers immediately, clears
+    the suspension, and drops any stashed wake-up."""
+    env = Environment()
+    trace = []
+
+    def worker():
+        try:
+            yield env.timeout(2.0)
+            trace.append("woke-normally")
+        except Interrupt:
+            trace.append(("interrupted", env.now, "suspended:",
+                          p.suspended))
+        return "out"
+
+    p = env.process(worker())
+
+    def controller():
+        yield env.timeout(1.0)
+        p.suspend()
+        yield env.timeout(2.0)  # the timeout fires meanwhile and is stashed
+        p.interrupt()
+
+    env.process(controller())
+    env.run()
+    assert trace == [("interrupted", 3.0, "suspended:", False)]
+    assert p._stash is None
+    assert p.value == "out"
+
+
+def test_interrupt_after_stale_wake_is_not_double_resumed():
+    """Yielding an already-processed event schedules a same-time wake; an
+    interrupt arriving in that window must win, not race the stale wake
+    into a double resume."""
+    env = Environment()
+    trace = []
+    fired = env.event()
+    fired.succeed("stale")
+
+    def worker():
+        try:
+            got = yield fired  # already processed: wake is scheduled
+            trace.append(("woke", got))
+        except Interrupt:
+            trace.append("interrupted")
+        yield env.timeout(1.0)
+        return "end"
+
+    p = env.process(worker())
+    p.interrupt("now")  # delivered in the same timestep, before the wake
+    env.run()
+    assert trace == ["interrupted"]
+    assert p.value == "end"
+
+
+def test_kill_detaches_from_later_failing_event():
+    """kill() must defuse the abandoned target: recovery kills launch
+    drivers whose network flows fail afterwards."""
+    env = Environment()
+    doomed = env.event()
+
+    def worker():
+        yield doomed
+
+    p = env.process(worker())
+
+    def controller():
+        yield env.timeout(1.0)
+        p.kill()
+        yield env.timeout(1.0)
+        doomed.fail(RuntimeError("late failure"))
+
+    env.process(controller())
+    env.run()  # no unobserved-failure crash
+    assert p.triggered and p.value is None
