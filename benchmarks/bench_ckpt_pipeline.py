@@ -1,0 +1,195 @@
+"""Bench: the incremental/parallel checkpoint capture pipeline (DESIGN.md §8).
+
+Two measurements, written to ``BENCH_ckpt.json``:
+
+**microbench** — real wall time of :meth:`CheckpointImage.capture` over a
+synthetic address space in four modes (full, full+parallel workers,
+incremental, incremental+parallel) on a dirty-subset scenario (~10% of the
+regions rewritten between captures).  Asserts the incremental capture is
+>= 3x faster than a full recapture, and that every mode's snapshot restores
+bit-identically to the full one.
+
+**simulated** — NAS LU and FT under the fault harness (failure-free
+schedule), full vs incremental checkpointing: mean *simulated* wall
+seconds per coordinated checkpoint and the delta bytes actually written.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ckpt_pipeline.py [--quick]
+        [--out BENCH_ckpt.json]
+
+Exits non-zero when an acceptance check fails (the CI smoke job runs
+``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dmtcp.image import CheckpointImage  # noqa: E402
+from repro.faults.harness import run_chaos_nas  # noqa: E402
+from repro.faults.schedule import FixedSchedule  # noqa: E402
+from repro.memory import AddressSpace  # noqa: E402
+
+#: the acceptance bar: incremental capture on a <=10%-dirty space must beat
+#: a full recapture by at least this factor
+MIN_SPEEDUP = 3.0
+
+
+def _build_space(n_regions: int, region_bytes: int, seed: int = 2014):
+    """A synthetic address space of semi-compressible regions."""
+    rng = np.random.default_rng(seed)
+    memory = AddressSpace("bench")
+    for i in range(n_regions):
+        data = rng.integers(0, 64, region_bytes, dtype=np.uint8).tobytes()
+        memory.mmap(f"r{i:03d}", region_bytes, data=data)
+    return memory, rng
+
+
+def _dirty_subset(memory: AddressSpace, rng, fraction: float) -> int:
+    regions = list(memory)
+    n_dirty = max(1, int(len(regions) * fraction))
+    for region in regions[:n_dirty]:
+        fresh = rng.integers(0, 64, region.size, dtype=np.uint8).tobytes()
+        memory.write(region.addr, fresh)
+    return n_dirty
+
+
+def _capture(memory, prev=None, workers=0):
+    t0 = time.perf_counter()
+    image = CheckpointImage.capture("bench", 1, "3.10.0", "mlx4", memory,
+                                    prev=prev, workers=workers)
+    return image, time.perf_counter() - t0
+
+
+def _restored_bytes(image: CheckpointImage) -> dict:
+    memory = AddressSpace("check")
+    image.restore_memory(memory)
+    return {r.name: bytes(r.buffer) for r in memory}
+
+
+def microbench(quick: bool) -> dict:
+    n_regions, region_bytes = (32, 256 * 1024) if quick \
+        else (64, 1024 * 1024)
+    dirty_fraction = 0.10
+    memory, rng = _build_space(n_regions, region_bytes)
+
+    base, _ = _capture(memory)                       # seed the chain
+    n_dirty = _dirty_subset(memory, rng, dirty_fraction)
+
+    full, t_full = _capture(memory)
+    full_par, t_full_par = _capture(memory, workers=2)
+    incr, t_incr = _capture(memory, prev=base)
+    incr_par, t_incr_par = _capture(memory, prev=base, workers=2)
+
+    reference = _restored_bytes(full)
+    identical = all(_restored_bytes(img) == reference
+                    for img in (full_par, incr, incr_par))
+    ratios_match = all(
+        abs(img.compression_ratio - full.compression_ratio) < 1e-12
+        for img in (full_par, incr, incr_par))
+
+    return {
+        "regions": n_regions,
+        "region_bytes": region_bytes,
+        "dirty_regions": n_dirty,
+        "dirty_fraction": n_dirty / n_regions,
+        "full_s": t_full,
+        "full_parallel_s": t_full_par,
+        "incremental_s": t_incr,
+        "incremental_parallel_s": t_incr_par,
+        "speedup_incremental": t_full / t_incr,
+        "speedup_incremental_parallel": t_full / t_incr_par,
+        "regions_clean": incr.capture_stats["regions_clean_gen"]
+        + incr.capture_stats["regions_clean_hash"],
+        "delta_logical_bytes": incr.delta_logical_bytes,
+        "full_logical_bytes": full.raw_logical_bytes
+        * full.compression_ratio,
+        "bit_identical": identical,
+        "ratios_match": ratios_match,
+    }
+
+
+def simulated(quick: bool) -> dict:
+    iters = 24 if quick else 120
+    out = {}
+    for app, klass in (("lu", "A"), ("ft", "B")):
+        row = {}
+        for label, incremental in (("full", False), ("incremental", True)):
+            result = run_chaos_nas(
+                app=app, klass=klass, nprocs=4, iters_sim=iters,
+                ckpt_interval=0.3, schedule=FixedSchedule([]),
+                incremental=incremental)
+            rec = result.recovery
+            row[label] = {
+                "n_checkpoints": rec.n_checkpoints,
+                "mean_ckpt_s": rec.mean_ckpt_seconds,
+                "total_ckpt_s": rec.ckpt_overhead,
+                "completion_s": rec.completion_seconds,
+                "checksum": result.checksum,
+            }
+        row["checksums_match"] = (row["full"]["checksum"]
+                                  == row["incremental"]["checksum"])
+        out[app] = row
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="incremental/parallel checkpoint pipeline benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI (seconds)")
+    parser.add_argument("--out", default="BENCH_ckpt.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    micro = microbench(args.quick)
+    sim = simulated(args.quick)
+    report = {"quick": args.quick, "microbench": micro, "simulated": sim}
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"# capture over {micro['regions']} regions x "
+          f"{micro['region_bytes'] >> 10} KiB, "
+          f"{micro['dirty_regions']} dirty "
+          f"({micro['dirty_fraction']:.0%})")
+    print(f"{'mode':>24} {'wall(s)':>9} {'vs full':>8}")
+    for key, label in (("full_s", "full"),
+                       ("full_parallel_s", "full+workers"),
+                       ("incremental_s", "incremental"),
+                       ("incremental_parallel_s", "incremental+workers")):
+        t = micro[key]
+        print(f"{label:>24} {t:9.4f} {micro['full_s'] / t:7.1f}x")
+    for app, row in sim.items():
+        print(f"# {app.upper()} x4 simulated: full "
+              f"{row['full']['mean_ckpt_s']:.3f}s/ckpt, incremental "
+              f"{row['incremental']['mean_ckpt_s']:.3f}s/ckpt "
+              f"({row['full']['n_checkpoints']:.0f} ckpts)")
+
+    checks = {
+        "bit_identical": micro["bit_identical"],
+        "ratios_match": micro["ratios_match"],
+        f"incremental >= {MIN_SPEEDUP}x on dirty subset":
+            micro["speedup_incremental"] >= MIN_SPEEDUP,
+        "simulated checksums match": all(row["checksums_match"]
+                                         for row in sim.values()),
+        "simulated incremental not slower": all(
+            row["incremental"]["mean_ckpt_s"]
+            <= row["full"]["mean_ckpt_s"] * 1.10 for row in sim.values()),
+    }
+    ok = all(checks.values())
+    for name, passed in checks.items():
+        print(f"# {'PASS' if passed else 'FAIL'}: {name}")
+    print(f"# report -> {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

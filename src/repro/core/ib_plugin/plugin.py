@@ -256,23 +256,18 @@ class InfinibandPlugin(Plugin):
     # -- Principle 3 bookkeeping -------------------------------------------------------
 
     def bookkeep_completion(self, wc: ibv_wc) -> None:
-        """A polled completion destroys its logged WQE."""
+        """A polled completion destroys its logged WQE — O(1) against the
+        wr_id-indexed :class:`~.shadow.WqeLog`."""
         vqp = self.vqp_by_real_qpn.get(wc.qp_num)
         if vqp is None:
             return
         if wc.opcode in _RECV_OPCODES:
             log = vqp.vsrq.recv_log if vqp.vsrq is not None else vqp.recv_log
-            for i, entry in enumerate(log):
-                if entry.wr.wr_id == wc.wr_id:
-                    del log[i]
-                    break
+            log.complete_recv(wc.wr_id)
         else:
             # send completions are ordered: a signaled completion implies
             # every earlier (possibly unsignaled) WQE on the QP completed
-            for i, entry in enumerate(vqp.send_log):
-                if entry.wr.wr_id == wc.wr_id:
-                    del vqp.send_log[: i + 1]
-                    break
+            vqp.send_log.complete_send_upto(wc.wr_id)
 
     # -- Principles 4/5: drain and refill ----------------------------------------------
 
@@ -333,8 +328,8 @@ class InfinibandPlugin(Plugin):
             # §4: immediate/inline RDMA posts generate no local completion;
             # after the global settle the drain protocol assumes them done
             for vqp in self.qps:
-                vqp.send_log = [e for e in vqp.send_log
-                                if not e.assume_complete_on_drain]
+                vqp.send_log.retain(
+                    lambda e: not e.assume_complete_on_drain)
         elif event is DmtcpEvent.RESTART:
             self._restart_recreate()
         elif event is DmtcpEvent.RESTART_REPLAY:

@@ -10,8 +10,9 @@ virtual ids the application cached never change.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from ...ibverbs.enums import AccessFlags, QpState, QpType
 from ...ibverbs.structs import (
@@ -30,6 +31,7 @@ __all__ = [
     "VirtualQp",
     "SendLogEntry",
     "RecvLogEntry",
+    "WqeLog",
 ]
 
 
@@ -110,6 +112,87 @@ class RecvLogEntry:
     wr: ibv_recv_wr          # with VIRTUAL lkeys
 
 
+class WqeLog:
+    """An outstanding-WQE log with O(1) completion matching.
+
+    Entries live in an insertion-ordered dict keyed by a monotonic
+    sequence number, with a per-``wr_id`` FIFO of sequence numbers on the
+    side (wr_ids are application-chosen and may repeat, so they cannot
+    key the log directly).  Iteration yields entries in post order —
+    Principle 3/6 replay re-posts in exactly the order the application
+    posted.  :meth:`complete_recv` removes the oldest entry with a given
+    wr_id in O(1); :meth:`complete_send_upto` removes the whole prefix
+    through the oldest match (ordered-completion semantics: a signaled
+    completion implies every earlier WQE on the QP completed), costing
+    O(removed) — amortized O(1) per posted WQE.
+    """
+
+    __slots__ = ("_entries", "_by_wr_id", "_seq")
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Any] = {}
+        self._by_wr_id: Dict[int, Deque[int]] = {}
+        self._seq = 0
+
+    def append(self, entry: Any) -> None:
+        seq = self._seq
+        self._seq += 1
+        self._entries[seq] = entry
+        self._by_wr_id.setdefault(entry.wr.wr_id, deque()).append(seq)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def _drop_seq(self, seq: int) -> None:
+        entry = self._entries.pop(seq)
+        seqs = self._by_wr_id.get(entry.wr.wr_id)
+        if seqs is not None:
+            seqs.remove(seq)
+            if not seqs:
+                del self._by_wr_id[entry.wr.wr_id]
+
+    def complete_recv(self, wr_id: int) -> bool:
+        """Destroy the oldest logged WQE with ``wr_id``; False if none."""
+        seqs = self._by_wr_id.get(wr_id)
+        if not seqs:
+            return False
+        seq = seqs.popleft()
+        if not seqs:
+            del self._by_wr_id[wr_id]
+        del self._entries[seq]
+        return True
+
+    def complete_send_upto(self, wr_id: int) -> bool:
+        """Destroy every WQE up to and including the oldest one with
+        ``wr_id`` (ordered completions); False (and no change) if none."""
+        seqs = self._by_wr_id.get(wr_id)
+        if not seqs:
+            return False
+        target = seqs[0]
+        # the prefix is exactly the dict's leading keys (seqs are
+        # monotonic): stop at the first key past the target, so the walk
+        # touches only what it removes — amortized O(1) per post
+        prefix = []
+        for seq in self._entries:
+            if seq > target:
+                break
+            prefix.append(seq)
+        for seq in prefix:
+            self._drop_seq(seq)
+        return True
+
+    def retain(self, pred: Callable[[Any], bool]) -> None:
+        """Keep only entries where ``pred(entry)`` holds, in order."""
+        for seq in [s for s, e in self._entries.items() if not pred(e)]:
+            self._drop_seq(seq)
+
+
 @dataclass
 class VirtualSrq:
     real: Any
@@ -117,7 +200,7 @@ class VirtualSrq:
     max_wr: int
     limit: int = 0
     modify_log: List[int] = field(default_factory=list)  # limits, in order
-    recv_log: List[RecvLogEntry] = field(default_factory=list)
+    recv_log: WqeLog = field(default_factory=WqeLog)
 
     @property
     def pd(self) -> VirtualPd:
@@ -145,8 +228,8 @@ class VirtualQp:
     max_inline_data: int = 256
     # Principle 3 logs
     modify_log: List[Tuple[ibv_qp_attr, Any]] = field(default_factory=list)
-    send_log: List[SendLogEntry] = field(default_factory=list)
-    recv_log: List[RecvLogEntry] = field(default_factory=list)
+    send_log: WqeLog = field(default_factory=WqeLog)
+    recv_log: WqeLog = field(default_factory=WqeLog)
     #: remote *virtual* (lid, qp number), captured from the app's
     #: modify_qp(RTR) call — qp numbers are only unique per HCA, so the
     #: pub-sub namespace keys pairs, not bare numbers

@@ -43,6 +43,10 @@ class Coordinator:
         self._drain_reports: List[int] = []
         self._ckpt_stats: List[dict] = []
         self._ckpt_done_evt: Optional[Event] = None
+        #: checkpoint epoch counter: with forked (overlapped) write-back a
+        #: process may still be pushing epoch N's image when epoch N+1
+        #: starts, so done-reports are matched to their epoch
+        self._ckpt_epoch = 0
         self._all_connected = self.env.event()
         self._procs = [self.env.process(self._accept_loop(),
                                         name="coord.accept")]
@@ -97,7 +101,9 @@ class Coordinator:
             elif op == "drain-status":
                 yield from self._drain_status(msg["count"])
             elif op == "ckpt-done":
-                self._ckpt_stats.append(msg["stats"])
+                stats = msg["stats"]
+                if stats.get("epoch", self._ckpt_epoch) == self._ckpt_epoch:
+                    self._ckpt_stats.append(stats)
                 if (len(self._ckpt_stats) == self._quorum()
                         and self._ckpt_done_evt is not None
                         and not self._ckpt_done_evt.triggered):
@@ -139,13 +145,19 @@ class Coordinator:
 
     def checkpoint_all(self, intent: str = "resume") -> Generator:
         """Broadcast a checkpoint request; returns per-process stats once
-        every checkpoint manager reports done."""
+        every checkpoint manager reports done.
+
+        "Done" means the blocking portion of each process's write landed;
+        a forked child may still be pushing the overlapped remainder (the
+        process serializes it against its next checkpoint locally)."""
         assert intent in ("resume", "restart")
+        self._ckpt_epoch += 1
         self._ckpt_stats = []
         self._ckpt_done_evt = self.env.event()
         for client in self.clients:
             yield from client.conn.send({"op": "checkpoint",
-                                         "intent": intent})
+                                         "intent": intent,
+                                         "epoch": self._ckpt_epoch})
         stats = yield self._ckpt_done_evt
         self._ckpt_done_evt = None
         return stats

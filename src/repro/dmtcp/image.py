@@ -10,22 +10,52 @@ Logical (paper-testbed-equivalent) sizes are tracked alongside the real
 bytes so scaled-down workloads report paper-magnitude checkpoint sizes and
 times; the compression ratio applied to the logical size is the ratio
 actually measured on the real bytes.
+
+Incremental + parallel capture (DESIGN.md §8): :meth:`CheckpointImage.
+capture` takes an optional ``prev`` image.  A region whose generation is
+unchanged since ``prev`` (and that never leaked a writable view) — or whose
+content hash matches the one recorded in ``prev`` — is *clean*: its stored
+bytes and measured compression ratio are reused verbatim, skipping both the
+copy and the zlib pass.  Dirty regions are snapshotted fresh and their
+ratios measured over fixed-size chunks, optionally fanned out across a
+``concurrent.futures`` thread pool (zlib releases the GIL).  Whatever the
+mode, the resulting ``memory_snapshot`` restores bit-identically to a full
+capture of the same memory.
 """
 
 from __future__ import annotations
 
 import pickle
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from ..memory import AddressSpace
 
-__all__ = ["CheckpointImage", "ImageError"]
+__all__ = ["CheckpointImage", "ImageError", "CAPTURE_CHUNK_BYTES"]
 
 
 class ImageError(RuntimeError):
     pass
+
+
+#: chunk granularity of the capture pipeline's compression measurement
+CAPTURE_CHUNK_BYTES = 1 << 20
+
+_pools: Dict[int, ThreadPoolExecutor] = {}
+
+
+def _pool(workers: int) -> ThreadPoolExecutor:
+    pool = _pools.get(workers)
+    if pool is None:
+        pool = _pools[workers] = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="ckpt-gz")
+    return pool
+
+
+def _zlen(chunk: bytes) -> int:
+    return len(zlib.compress(chunk, 1))
 
 
 @dataclass
@@ -42,40 +72,155 @@ class CheckpointImage:
     raw_logical_bytes: float = 0.0
     compression_ratio: float = 1.0
     header_bytes: float = 0.0
+    #: per-region capture bookkeeping, keyed by region name:
+    #: {"generation", "hash", "ratio"} — what the *next* incremental
+    #: capture needs to prove a region clean and reuse its ratio
+    region_meta: Dict[str, dict] = field(default_factory=dict)
+    #: logical bytes an incremental write-back must actually push (dirty
+    #: regions only, post-compression); equals the full compressed size
+    #: when captured without a ``prev``
+    delta_logical_bytes: float = 0.0
+    #: how this capture went: region/byte counts per clean/dirty class
+    #: (not meaningful after from_bytes round-trips of old images)
+    capture_stats: dict = field(default_factory=dict)
 
     @classmethod
     def capture(cls, proc_name: str, pid: int, kernel_version: str,
                 hca_vendor: Optional[str], memory: AddressSpace,
                 gzip: bool = True, checkpointer: str = "dmtcp",
-                header_bytes: float = 0.0) -> "CheckpointImage":
-        snap = memory.snapshot()
-        if gzip:
-            # level 1 is DMTCP's on-the-fly default; numerical data barely
-            # compresses (Table 5), zeroed buffers do.  The effective ratio
-            # weights each region's measured ratio by the logical bytes it
-            # stands for (scaled regions dominate real NAS images).
-            weighted = 0.0
-            total_logical = 0.0
-            for rsnap in snap["regions"]:
-                data = rsnap["data"]
-                region_ratio = len(zlib.compress(data, 1)) / max(1,
-                                                                 len(data))
-                if rsnap["repr_scale"] > 1.0 or rsnap["tag"] == "nas-data":
+                header_bytes: float = 0.0,
+                prev: Optional["CheckpointImage"] = None,
+                workers: int = 0) -> "CheckpointImage":
+        """Capture ``memory``, incrementally against ``prev`` if given.
+
+        ``workers`` > 0 fans dirty-region compression measurement out over
+        a shared thread pool; 0 keeps the pipeline serial (chunked either
+        way).  The restored memory is bit-identical in every mode.
+        """
+        prev_snap: Dict[str, dict] = {}
+        prev_meta: Dict[str, dict] = {}
+        if prev is not None:
+            prev_snap = {r["name"]: r
+                         for r in prev.memory_snapshot["regions"]}
+            prev_meta = prev.region_meta
+
+        stats = {"mode": "incremental" if prev is not None else "full",
+                 "workers": workers, "regions_total": 0,
+                 "regions_clean_gen": 0, "regions_clean_hash": 0,
+                 "regions_dirty": 0, "bytes_clean": 0, "bytes_dirty": 0,
+                 "bytes_hashed": 0, "logical_hashed": 0.0,
+                 "compress_skipped": 0}
+        snap_regions = []
+        meta: Dict[str, dict] = {}
+        weighted = 0.0
+        total_logical = 0.0
+        delta_logical = 0.0
+        rows = []           # (logical, meta_entry, clean)
+        measure_jobs = []   # (meta_entry, data)
+
+        for region in memory:
+            stats["regions_total"] += 1
+            logical = region.size * region.repr_scale
+            total_logical += logical
+            pm = prev_meta.get(region.name)
+            ps = prev_snap.get(region.name)
+            clean = False
+            rhash: Optional[bytes] = None
+            if pm is not None and ps is not None \
+                    and ps["addr"] == region.addr \
+                    and ps["size"] == region.size:
+                if not region.views_leaked \
+                        and region.generation == pm["generation"]:
+                    # no view ever escaped: every mutation bumped the
+                    # generation, so equality proves the bytes unchanged
+                    clean = True
+                    rhash = pm["hash"]
+                    stats["regions_clean_gen"] += 1
+                else:
+                    rhash = region.content_hash()
+                    stats["bytes_hashed"] += region.size
+                    stats["logical_hashed"] += logical
+                    if pm["hash"] is not None and rhash == pm["hash"]:
+                        clean = True
+                        stats["regions_clean_hash"] += 1
+
+            if clean:
+                data = ps["data"]       # bytes are immutable: share them
+                ratio = pm["ratio"]
+                stats["bytes_clean"] += region.size
+            else:
+                data = bytes(region.buffer)
+                stats["regions_dirty"] += 1
+                stats["bytes_dirty"] += region.size
+                if region.views_leaked and rhash is None:
+                    # hash was computed above when a prev existed; for new
+                    # leaked regions compute it now so the next capture
+                    # can prove them clean
+                    rhash = region.content_hash()
+                    stats["bytes_hashed"] += region.size
+                    stats["logical_hashed"] += logical
+                if not gzip:
+                    ratio = 1.0
+                elif region.repr_scale > 1.0 or region.tag == "nas-data":
                     # part of the scaling substitution (DESIGN.md §2): a
                     # small sample cannot carry full-size field statistics;
-                    # real numerical data compresses ~1% (paper Table 5)
-                    region_ratio = max(region_ratio, 0.99)
-                logical = rsnap["size"] * rsnap["repr_scale"]
-                weighted += min(1.0, region_ratio) * logical
-                total_logical += logical
-            ratio = weighted / total_logical if total_logical else 1.0
-        else:
+                    # real numerical data compresses ~1% (paper Table 5),
+                    # so the measured ratio would be clamped here anyway —
+                    # skip the zlib pass entirely
+                    ratio = 0.99
+                    stats["compress_skipped"] += 1
+                else:
+                    ratio = None        # measured below, maybe in parallel
+
+            entry = {"generation": region.generation, "hash": rhash,
+                     "ratio": ratio}
+            meta[region.name] = entry
+            rows.append((logical, entry, clean))
+            snap_regions.append({
+                "name": region.name, "addr": region.addr,
+                "size": region.size, "repr_scale": region.repr_scale,
+                "tag": region.tag, "data": data,
+            })
+            if ratio is None:
+                measure_jobs.append((entry, data))
+
+        # -- chunked ratio measurement, serial or fanned out ----------------
+        if measure_jobs:
+            chunks = []     # (job_index, chunk)
+            for j, (_entry, data) in enumerate(measure_jobs):
+                for off in range(0, len(data), CAPTURE_CHUNK_BYTES):
+                    chunks.append((j, data[off:off + CAPTURE_CHUNK_BYTES]))
+            if workers > 0 and len(chunks) > 1:
+                zlens = _pool(workers).map(_zlen, [c for _j, c in chunks])
+            else:
+                zlens = (_zlen(c) for _j, c in chunks)
+            compressed = [0] * len(measure_jobs)
+            for (j, _c), zl in zip(chunks, zlens):
+                compressed[j] += zl
+            for (entry, data), zbytes in zip(measure_jobs, compressed):
+                entry["ratio"] = zbytes / max(1, len(data))
+
+        # -- weighting: each region's effective ratio by its logical bytes;
+        #    the dirty subset is what a delta write-back must push --------
+        for logical, entry, clean in rows:
+            effective = min(1.0, entry["ratio"]) if gzip else 1.0
+            weighted += effective * logical
+            if not clean:
+                delta_logical += effective * logical
+
+        ratio = weighted / total_logical if total_logical else 1.0
+        if not gzip:
             ratio = 1.0
+
+        snap = {"name": memory.name, "next_addr": memory.next_addr,
+                "regions": snap_regions}
         return cls(proc_name=proc_name, pid=pid,
                    kernel_version=kernel_version, hca_vendor=hca_vendor,
                    memory_snapshot=snap, gzip=gzip, checkpointer=checkpointer,
                    raw_logical_bytes=memory.logical_bytes,
-                   compression_ratio=ratio, header_bytes=header_bytes)
+                   compression_ratio=ratio, header_bytes=header_bytes,
+                   region_meta=meta, delta_logical_bytes=delta_logical,
+                   capture_stats=stats)
 
     # -- size/time accounting ---------------------------------------------------
 
@@ -85,10 +230,18 @@ class CheckpointImage:
         return self.raw_logical_bytes * self.compression_ratio \
             + self.header_bytes
 
-    def compression_time(self, gzip_throughput: float) -> float:
+    @property
+    def delta_logical_size(self) -> float:
+        """Bytes an incremental write-back must push (paper-testbed
+        scale): the dirty regions' compressed logical bytes + header."""
+        return self.delta_logical_bytes + self.header_bytes
+
+    def compression_time(self, gzip_throughput: float,
+                         workers: int = 1) -> float:
         if not self.gzip:
             return 0.0
-        return self.raw_logical_bytes / gzip_throughput
+        return self.raw_logical_bytes / (gzip_throughput
+                                         * max(1, workers))
 
     # -- real byte serialization ---------------------------------------------------
 
@@ -105,6 +258,9 @@ class CheckpointImage:
                 "raw_logical_bytes": self.raw_logical_bytes,
                 "compression_ratio": self.compression_ratio,
                 "header_bytes": self.header_bytes,
+                "region_meta": self.region_meta,
+                "delta_logical_bytes": self.delta_logical_bytes,
+                "capture_stats": self.capture_stats,
             },
             protocol=pickle.HIGHEST_PROTOCOL)
         if self.gzip:

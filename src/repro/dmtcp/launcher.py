@@ -70,6 +70,20 @@ class CheckpointSet:
     def total_logical_bytes(self) -> float:
         return sum(r.image.logical_size for r in self.records)
 
+    @property
+    def total_delta_logical_bytes(self) -> float:
+        """Bytes the write-back actually pushed (dirty subset only when
+        the processes checkpoint incrementally)."""
+        return sum(r.image.delta_logical_size for r in self.records)
+
+    @property
+    def regions_dirty(self) -> int:
+        return sum(s.get("regions_dirty", 0) for s in self.stats)
+
+    @property
+    def regions_clean(self) -> int:
+        return sum(s.get("regions_clean", 0) for s in self.stats)
+
     def stage_to(self, cluster: Cluster, disk_kind: str = "local",
                  node_map: Optional[Dict[int, int]] = None) -> None:
         """Copy image files onto another cluster's filesystems (the offline
@@ -144,7 +158,9 @@ def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
                  costs: CostModel = DEFAULT_COSTS, gzip: bool = True,
                  ckpt_dir: str = "/tmp", disk_kind: str = "local",
                  coord_node_index: int = 0,
-                 tracker: Optional[JobTracker] = None) -> Generator:
+                 tracker: Optional[JobTracker] = None,
+                 incremental: bool = False,
+                 ckpt_workers: int = 0) -> Generator:
     """Process generator: start a coordinator and all processes under it.
 
     Every process's library table is populated (ibverbs when the node has
@@ -168,7 +184,9 @@ def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
         proc = DmtcpProcess(host, spec.name, spec.rank, world, plugins,
                             costs=costs, gzip=gzip, ckpt_dir=ckpt_dir,
                             disk_kind=disk_kind,
-                            node_index=spec.node_index)
+                            node_index=spec.node_index,
+                            incremental=incremental,
+                            ckpt_workers=ckpt_workers)
         procs.append(proc)
         launch_events.append(env.process(
             proc.launch(coordinator.node.name, coordinator.port,
@@ -186,7 +204,9 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                   node_map: Optional[Dict[int, int]] = None,
                   coord_node_index: int = 0,
                   stage_images: bool = True,
-                  tracker: Optional[JobTracker] = None) -> Generator:
+                  tracker: Optional[JobTracker] = None,
+                  incremental: bool = False,
+                  ckpt_workers: int = 0) -> Generator:
     """Process generator: restart a CheckpointSet on ``cluster`` (the same
     one or a different one — different LIDs, different qp_nums, possibly a
     different kernel or no InfiniBand at all)."""
@@ -215,7 +235,8 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
             proc = DmtcpProcess.restart(
                 host, record, image, costs,
                 coordinator.node.name, coordinator.port,
-                disk_kind=disk_kind)
+                disk_kind=disk_kind, incremental=incremental,
+                ckpt_workers=ckpt_workers)
             procs_by_name[record.name] = proc
             yield from proc.restart_flow(coordinator.node.name,
                                          coordinator.port)

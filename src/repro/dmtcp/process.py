@@ -107,7 +107,8 @@ class DmtcpProcess:
     def __init__(self, host: ProcessHost, name: str, rank: int, world: int,
                  plugins: List[Plugin], costs: CostModel = DEFAULT_COSTS,
                  gzip: bool = True, ckpt_dir: str = "/tmp",
-                 disk_kind: str = "local", node_index: int = 0):
+                 disk_kind: str = "local", node_index: int = 0,
+                 incremental: bool = False, ckpt_workers: int = 0):
         self.host = host
         self.env = host.env
         self.name = name
@@ -119,11 +120,17 @@ class DmtcpProcess:
         self.ckpt_dir = ckpt_dir
         self.disk_kind = disk_kind
         self.node_index = node_index
+        #: reuse the previous image's clean regions instead of recapturing
+        self.incremental = incremental
+        #: worker threads for dirty-region compression (0 = serial)
+        self.ckpt_workers = ckpt_workers
         self.appctx = AppContext(host, name, rank, world)
         self.user_threads: List[Process] = []
         self.client: Optional[CoordinatorClient] = None
         self.manager: Optional[Process] = None
         self.last_record: Optional[CheckpointRecord] = None
+        #: the forked child's in-flight overlapped write-back, if any
+        self._bg_write: Optional[Process] = None
         host.compute_tax = costs.compute_tax
 
     # -- launch ------------------------------------------------------------------
@@ -157,17 +164,20 @@ class DmtcpProcess:
         while True:
             msg = yield self.client.recv()
             if msg["op"] == "checkpoint":
-                yield from self._do_checkpoint(msg["intent"])
+                yield from self._do_checkpoint(msg["intent"],
+                                               msg.get("epoch", 0))
             else:  # pragma: no cover - protocol bug
                 raise AssertionError(f"ckptmgr got {msg}")
 
-    def _do_checkpoint(self, intent: str) -> Generator:
+    def _do_checkpoint(self, intent: str, epoch: int = 0) -> Generator:
         t0 = self.env.now
         # 1. quiesce user threads — every live thread of the process except
         # the checkpoint manager itself (runtimes spawn helpers: progress
-        # engines, rendezvous puts, accept loops)
+        # engines, rendezvous puts, accept loops) and the forked child
+        # still draining the previous image's overlapped write-back
         self.user_threads = [t for t in self.host.threads
-                             if t is not self.manager and t.is_alive]
+                             if t is not self.manager
+                             and t is not self._bg_write and t.is_alive]
         for plugin in self.plugins:
             plugin.event(DmtcpEvent.PRESUSPEND)
         for thread in self.user_threads:
@@ -192,27 +202,54 @@ class DmtcpProcess:
             if done:
                 break
 
-        # 3. write the image
+        # 3. write the image — the incremental/parallel pipeline
         for plugin in self.plugins:
             plugin.event(DmtcpEvent.WRITE_CKPT)
         hca_vendor = None
         for plugin in self.plugins:
             hca_vendor = plugin.image_metadata().get("hca_vendor",
                                                      hca_vendor)
+        prev = self.last_record.image \
+            if (self.incremental and self.last_record is not None) else None
         image = CheckpointImage.capture(
             proc_name=self.name, pid=self.host.pid,
             kernel_version=self.host.node.kernel_version,
             hca_vendor=hca_vendor, memory=self.host.memory,
-            gzip=self.gzip, header_bytes=self.costs.image_header_bytes)
+            gzip=self.gzip, header_bytes=self.costs.image_header_bytes,
+            prev=prev, workers=self.ckpt_workers)
+        # incremental scan: hash-verifying candidate-clean memory costs time
+        scan_seconds = self.costs.hash_seconds(
+            image.capture_stats.get("logical_hashed", 0.0))
+        if scan_seconds > 0.0:
+            yield self.host.compute(seconds=scan_seconds)
         disk = self.host.node.disk(self.disk_kind)
         path = f"{self.ckpt_dir}/ckpt_{self.name}.dmtcp"
         data = image.to_bytes()
         # dynamic gzip pipes through the writer: the pipeline stalls the
-        # write stream by bw_disk/bw_gzip (Table 5's ~4% gzip cost)
-        logical = image.logical_size
+        # write stream by bw_disk/bw_gzip (Table 5's ~4% gzip cost);
+        # parallel compressor workers divide the stall.  An incremental
+        # image only pushes the dirty regions' compressed bytes.
+        logical = image.delta_logical_size if prev is not None \
+            else image.logical_size
         if self.gzip:
-            logical *= 1.0 + self.costs.gzip_stall
-        yield from disk.write(path, data, logical_size=logical)
+            logical *= self.costs.gzip_stall_factor(self.ckpt_workers)
+        sync_logical, bg_logical = \
+            self.costs.overlapped_write_split(logical)
+        # one outstanding forked child: a still-running previous
+        # write-back must land before this image overwrites its path
+        if self._bg_write is not None and self._bg_write.is_alive:
+            yield self._bg_write
+        self._bg_write = None
+        yield from disk.write(path, data, logical_size=sync_logical)
+        if bg_logical > 0.0 and intent == "resume":
+            # forked write-back: the child pushes the remainder while the
+            # application resumes (Cao et al.'s overlapped checkpointing)
+            self._bg_write = self.host.spawn_thread(
+                disk.write(path, data, logical_size=bg_logical),
+                name=f"{self.name}.ckptfork")
+        elif bg_logical > 0.0:
+            # frozen processes have nothing to overlap with: write it all
+            yield from disk.write(path, data, logical_size=bg_logical)
         yield from self.client.barrier("written")
 
         ckpt_seconds = self.env.now - t0
@@ -224,11 +261,20 @@ class DmtcpProcess:
                 user_threads=list(self.user_threads), plugins=self.plugins,
                 memory=self.host.memory),
             ckpt_seconds=ckpt_seconds)
+        cstats = image.capture_stats
         yield from self.client.ckpt_done(
             {"name": self.name, "node": self.host.node.name,
+             "epoch": epoch,
              "ckpt_seconds": ckpt_seconds,
              "image_logical_bytes": image.logical_size,
-             "image_real_bytes": float(len(data))})
+             "image_real_bytes": float(len(data)),
+             "mode": cstats.get("mode", "full"),
+             "regions_dirty": cstats.get("regions_dirty", 0),
+             "regions_clean": cstats.get("regions_clean_gen", 0)
+             + cstats.get("regions_clean_hash", 0),
+             "delta_logical_bytes": image.delta_logical_size,
+             "overlapped_logical_bytes": bg_logical
+             if intent == "resume" else 0.0})
 
         # 4. resume, or stay frozen for the restart flow
         if intent == "resume":
@@ -255,14 +301,16 @@ class DmtcpProcess:
     def restart(cls, host: ProcessHost, record: CheckpointRecord,
                 image: CheckpointImage, costs: CostModel,
                 coord_host: str, coord_port: int,
-                disk_kind: str = "local") -> "DmtcpProcess":
+                disk_kind: str = "local", incremental: bool = False,
+                ckpt_workers: int = 0) -> "DmtcpProcess":
         """Build the restarted process object (dmtcp_restart runs
         :meth:`restart_flow` on it afterwards)."""
         cont = record.continuation
         proc = cls(host, name=cont.name, rank=cont.rank,
                    world=cont.appctx.world, plugins=cont.plugins,
                    costs=costs, gzip=image.gzip, disk_kind=disk_kind,
-                   node_index=record.node_index)
+                   node_index=record.node_index, incremental=incremental,
+                   ckpt_workers=ckpt_workers)
         # the restored process lives at the original virtual addresses:
         # adopt the old address space and overwrite it with image bytes
         image.restore_memory(cont.memory)

@@ -95,6 +95,7 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
               app: str = "lu", klass: str = "A", nprocs: int = 4,
               ppn: int = 1, iters_sim: int = 0, base_seed: int = 2014,
               intervals: Optional[List[float]] = None,
+              incremental: bool = False, ckpt_workers: int = 0,
               quiet: bool = False) -> SweepResult:
     n_nodes = max(1, -(-nprocs // ppn))
     ckpt_cost, baseline = measure_ckpt_cost(app, klass, nprocs, ppn,
@@ -122,7 +123,8 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
                         ckpt_interval=interval,
                         seed=base_seed + 7919 * trial,
                         backoff_base=0.2, backoff_max=2.0,
-                        max_attempts=50)
+                        max_attempts=50, incremental=incremental,
+                        ckpt_workers=ckpt_workers)
                     for trial in range(trials)]
             mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
             cell = SweepCell(
@@ -159,6 +161,11 @@ def main(argv=None) -> int:
     parser.add_argument("--trials", type=int, default=None,
                         help="seeded trials per cell")
     parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--incremental", action="store_true",
+                        help="capture checkpoints incrementally against "
+                             "the previous image (DESIGN.md §8)")
+    parser.add_argument("--ckpt-workers", type=int, default=0,
+                        help="compressor threads per process (0 = serial)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -167,7 +174,8 @@ def main(argv=None) -> int:
         mtbfs, trials, iters = [24.0, 40.0, 64.0], args.trials or 3, 300
 
     result = run_sweep(mtbfs, trials=trials, iters_sim=iters,
-                       base_seed=args.seed)
+                       base_seed=args.seed, incremental=args.incremental,
+                       ckpt_workers=args.ckpt_workers)
 
     print("\n# restart-path verification under injected crash")
     verdict = verify_restart_path(seed=args.seed)

@@ -87,6 +87,7 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
                   max_attempts: int = 8, backoff_base: float = 0.5,
                   backoff_factor: float = 2.0, backoff_max: float = 8.0,
                   disk_kind: str = "local", gzip: bool = True,
+                  incremental: bool = False, ckpt_workers: int = 0,
                   costs: CostModel = DEFAULT_COSTS) -> ChaosOutcome:
     """Run one NAS kernel to completion under chaos; see module docstring.
 
@@ -117,6 +118,7 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
     injector = Injector(env, schedule)
     config = RecoveryConfig(
         ckpt_interval=ckpt_interval, disk_kind=disk_kind, gzip=gzip,
+        incremental=incremental, ckpt_workers=ckpt_workers,
         max_attempts=max_attempts, backoff_base=backoff_base,
         backoff_factor=backoff_factor, backoff_max=backoff_max)
     manager = RecoveryManager(

@@ -24,7 +24,7 @@ failures without a new checkpoint eventually raise :class:`RecoveryError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Generator, List, Optional
 
 from ..dmtcp.coordinator import Coordinator
@@ -144,7 +144,8 @@ def chaos_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                   costs: CostModel = DEFAULT_COSTS, gzip: bool = True,
                   disk_kind: str = "local", coord_node_index: int = 0,
                   tracker: Optional[JobTracker] = None,
-                  generation: int = 1) -> Generator:
+                  generation: int = 1, incremental: bool = False,
+                  ckpt_workers: int = 0) -> Generator:
     """Process generator: restart after a *crash* from a resume-intent
     checkpoint.
 
@@ -183,8 +184,20 @@ def chaos_restart(cluster: Cluster, ckpt_set: CheckpointSet,
             proc = DmtcpProcess(host, record.name, record.rank,
                                 len(ckpt_set.records), plugin_factory(),
                                 costs=costs, gzip=gzip, disk_kind=disk_kind,
-                                node_index=dst_index)
+                                node_index=dst_index,
+                                incremental=incremental,
+                                ckpt_workers=ckpt_workers)
             proc.appctx.restarts = generation - 1
+            if incremental:
+                # seed the incremental chain: restore() bumped every
+                # region's generation, so resync the image's per-region
+                # bookkeeping to the restored state — the first post-crash
+                # checkpoint can then skip whatever the app leaves clean
+                for region in host.memory:
+                    pm = image.region_meta.get(region.name)
+                    if pm is not None:
+                        pm["generation"] = region.generation
+                proc.last_record = replace(record, image=image)
             procs_by_name[record.name] = proc
             spec = spec_by_rank[record.rank]
             yield from proc.launch(coordinator.node.name, coordinator.port,
@@ -206,6 +219,11 @@ class RecoveryConfig:
     ckpt_interval: float             # seconds between coordinated ckpts
     disk_kind: str = "local"
     gzip: bool = True
+    #: incremental capture: reuse the previous image's bytes/ratios for
+    #: regions proven clean (DESIGN.md §8)
+    incremental: bool = False
+    #: compressor threads per process for dirty-region measurement
+    ckpt_workers: int = 0
     #: consecutive failures *without a new checkpoint* before giving up
     max_attempts: int = 5
     backoff_base: float = 2.0        # first retry delay (seconds)
@@ -311,7 +329,9 @@ class RecoveryManager:
                 launch_gen = dmtcp_launch(
                     cluster, specs, plugin_factory=self._plugins,
                     costs=self.costs, gzip=cfg.gzip,
-                    disk_kind=cfg.disk_kind, tracker=tracker)
+                    disk_kind=cfg.disk_kind, tracker=tracker,
+                    incremental=cfg.incremental,
+                    ckpt_workers=cfg.ckpt_workers)
             else:
                 self._mark(outcome, "restart",
                            f"generation {generation} from checkpoint at "
@@ -320,7 +340,8 @@ class RecoveryManager:
                     cluster, ckpt_set, specs, plugin_factory=self._plugins,
                     costs=self.costs, gzip=cfg.gzip,
                     disk_kind=cfg.disk_kind, tracker=tracker,
-                    generation=generation)
+                    generation=generation, incremental=cfg.incremental,
+                    ckpt_workers=cfg.ckpt_workers)
             launch_proc = env.process(
                 _safe(launch_gen), name=f"{self.name}.up.g{generation}")
 

@@ -12,12 +12,23 @@ Scaled experiments: a region may declare ``repr_scale`` — "this region stands
 for ``repr_scale`` times its actual byte length on the paper's testbed".
 Actual data movement and checksums use the real bytes; time/size accounting
 in the benchmark harness uses the logical (scaled) size.
+
+Dirty tracking (incremental checkpoints, DESIGN.md §8): every region carries
+a monotonically increasing ``generation``.  All mutation avenues must bump
+it — :meth:`AddressSpace.write` and :meth:`AddressSpace.restore` do so, and
+code that slices ``region.buffer`` directly calls :meth:`Region.touch`.
+:meth:`Region.as_ndarray` additionally marks the region ``views_leaked``:
+once a writable view escapes, the buffer can mutate without a bump, so an
+unchanged generation no longer proves unchanged bytes and checkpoints fall
+back to comparing the lazily maintained :meth:`Region.content_hash`.
 """
 
 from __future__ import annotations
 
+import hashlib
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -43,6 +54,15 @@ class Region:
     repr_scale: float = 1.0
     pin_count: int = 0
     tag: str = ""  # e.g. "heap", "stack", "driver-data"
+    #: bumped on every tracked mutation; an incremental checkpoint may skip
+    #: a region whose generation it has already captured (unless views
+    #: leaked — see module docstring)
+    generation: int = 0
+    #: a writable ndarray view escaped: generation equality no longer
+    #: proves the bytes are unchanged
+    views_leaked: bool = False
+    _hash_gen: int = field(default=-1, repr=False, compare=False)
+    _hash: Optional[bytes] = field(default=None, repr=False, compare=False)
 
     @property
     def end(self) -> int:
@@ -57,12 +77,33 @@ class Region:
         """Size this region stands for on the paper's testbed (bytes)."""
         return self.size * self.repr_scale
 
+    def touch(self) -> None:
+        """Record a mutation (any code writing ``buffer`` directly must
+        call this — or the next incremental checkpoint may skip it)."""
+        self.generation += 1
+
     def as_ndarray(self, dtype="uint8", shape=None) -> np.ndarray:
         """A writable NumPy view over the region's bytes."""
+        self.generation += 1
+        self.views_leaked = True
         arr = np.frombuffer(self.buffer, dtype=dtype)
         if shape is not None:
             arr = arr.reshape(shape)
         return arr
+
+    def content_hash(self) -> bytes:
+        """Digest of the current bytes, cached while provably valid.
+
+        The cache is only trusted when no writable view has leaked (every
+        mutation then goes through :meth:`touch`); with leaked views the
+        digest is recomputed on every call.
+        """
+        if self.views_leaked or self._hash_gen != self.generation \
+                or self._hash is None:
+            self._hash = hashlib.blake2b(self.buffer,
+                                         digest_size=16).digest()
+            self._hash_gen = self.generation
+        return self._hash
 
     def contains(self, addr: int, length: int) -> bool:
         return self.addr <= addr and addr + length <= self.end
@@ -76,8 +117,23 @@ class AddressSpace:
         self._regions: Dict[int, Region] = {}
         self._next_addr = _BASE_ADDR
         self._by_name: Dict[str, Region] = {}
+        # address-sorted index for O(log n) region_at (read/write/pin all
+        # route through it); _starts[i] is _ordered[i].addr
+        self._starts: List[int] = []
+        self._ordered: List[Region] = []
 
     # -- mapping ------------------------------------------------------------
+
+    def _index_add(self, region: Region) -> None:
+        i = bisect_right(self._starts, region.addr)
+        self._starts.insert(i, region.addr)
+        self._ordered.insert(i, region)
+
+    def _index_remove(self, region: Region) -> None:
+        i = bisect_right(self._starts, region.addr) - 1
+        if 0 <= i < len(self._ordered) and self._ordered[i] is region:
+            del self._starts[i]
+            del self._ordered[i]
 
     def mmap(self, name: str, size: int, repr_scale: float = 1.0,
              tag: str = "", data: Optional[bytes] = None) -> Region:
@@ -98,6 +154,7 @@ class AddressSpace:
                         repr_scale=repr_scale, tag=tag)
         self._regions[addr] = region
         self._by_name[name] = region
+        self._index_add(region)
         return region
 
     def ensure(self, name: str, size: int, repr_scale: float = 1.0,
@@ -127,10 +184,19 @@ class AddressSpace:
         if self._regions.pop(region.addr, None) is None:
             raise MemoryError_(f"region {region.name!r} not mapped")
         del self._by_name[region.name]
+        self._index_remove(region)
 
     def region_at(self, addr: int, length: int = 1) -> Region:
-        """The region containing [addr, addr+length), else simulated SEGV."""
-        for region in self._regions.values():
+        """The region containing [addr, addr+length), else simulated SEGV.
+
+        Bisect over the sorted start addresses: the only candidate is the
+        rightmost region starting at or below ``addr`` (mappings never
+        overlap); an access straddling its end — or landing in a guard
+        page — segfaults exactly as the old linear scan did.
+        """
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0:
+            region = self._ordered[i]
             if region.contains(addr, length):
                 return region
         raise MemoryError_(
@@ -173,8 +239,14 @@ class AddressSpace:
         region = self.region_at(addr, len(data))
         off = addr - region.addr
         region.buffer[off: off + len(data)] = data
+        region.touch()
 
     # -- accounting ----------------------------------------------------------
+
+    @property
+    def next_addr(self) -> int:
+        """The next free mapping address (recorded in snapshots)."""
+        return self._next_addr
 
     @property
     def total_bytes(self) -> int:
@@ -186,22 +258,25 @@ class AddressSpace:
 
     # -- snapshot / restore (what a checkpoint image stores) -----------------
 
+    @staticmethod
+    def snapshot_region(region: Region) -> dict:
+        """Deep copy of one region's mapping entry and contents."""
+        return {
+            "name": region.name,
+            "addr": region.addr,
+            "size": region.size,
+            "repr_scale": region.repr_scale,
+            "tag": region.tag,
+            "data": bytes(region.buffer),
+        }
+
     def snapshot(self) -> dict:
         """A deep copy of the full mapping table and contents."""
         return {
             "name": self.name,
             "next_addr": self._next_addr,
-            "regions": [
-                {
-                    "name": r.name,
-                    "addr": r.addr,
-                    "size": r.size,
-                    "repr_scale": r.repr_scale,
-                    "tag": r.tag,
-                    "data": bytes(r.buffer),
-                }
-                for r in self._regions.values()
-            ],
+            "regions": [self.snapshot_region(r)
+                        for r in self._regions.values()],
         }
 
     def restore(self, snap: dict) -> None:
@@ -228,9 +303,11 @@ class AddressSpace:
                     repr_scale=rsnap["repr_scale"], tag=rsnap["tag"])
                 self._regions[existing.addr] = existing
                 self._by_name[existing.name] = existing
+                self._index_add(existing)
             if existing.size != rsnap["size"]:
                 raise MemoryError_(
                     f"region {existing.name!r} size changed since snapshot")
             existing.buffer[:] = rsnap["data"]
             existing.pin_count = 0
+            existing.touch()
         self._next_addr = max(self._next_addr, snap["next_addr"])

@@ -49,6 +49,8 @@ class SharedArray:
             raise ValueError(f"block {block} has remote affinity")
         off = self.local_offset(block)
         seg = self.upc.core.segment
+        seg.touch()
+        seg.views_leaked = True  # writable view escapes dirty tracking
         return np.frombuffer(seg.buffer, dtype=dtype,
                              count=self.block_bytes // np.dtype(dtype).itemsize,
                              offset=off)
@@ -61,6 +63,7 @@ class SharedArray:
             src = self.local_offset(block)
             seg.buffer[scratch_offset:scratch_offset + self.block_bytes] = \
                 seg.buffer[src:src + self.block_bytes]
+            seg.touch()
             return
         yield from self.upc.core.get(
             owner, self.local_offset(block),
@@ -74,6 +77,7 @@ class SharedArray:
             dst = self.local_offset(block)
             seg.buffer[dst:dst + self.block_bytes] = \
                 seg.buffer[scratch_offset:scratch_offset + self.block_bytes]
+            seg.touch()
             return
         yield from self.upc.core.put(
             owner, self.local_offset(block),

@@ -1,0 +1,259 @@
+"""The incremental/parallel checkpoint pipeline (DESIGN.md §8) and the
+wr_id-indexed WQE log.
+
+The load-bearing property: however writes, leaked-view mutations, and
+checkpoints interleave, an incremental capture chain restores bit-
+identically to a full capture of the same memory — including across the
+fault harness's injected-crash restart path.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ib_plugin.shadow import WqeLog
+from repro.dmtcp.image import CheckpointImage
+from repro.faults.harness import run_chaos_nas
+from repro.faults.schedule import FailureEvent, FixedSchedule
+from repro.memory import AddressSpace
+
+
+def _capture(memory, prev=None, workers=0, gzip=True):
+    return CheckpointImage.capture("p0", 1, "3.10.0", "mlx4", memory,
+                                   gzip=gzip, prev=prev, workers=workers)
+
+
+def _restored(image):
+    memory = AddressSpace("check")
+    image.restore_memory(memory)
+    return {r.name: bytes(r.buffer) for r in memory}
+
+
+# -- incremental capture unit behavior ---------------------------------------
+
+def test_clean_region_shares_bytes_and_ratio():
+    mem = AddressSpace()
+    mem.mmap("a", 4096, data=b"a" * 4096)
+    b = mem.mmap("b", 4096, data=b"b" * 4096)
+    base = _capture(mem)
+    mem.write(b.addr, b"B")
+    incr = _capture(mem, prev=base)
+    stats = incr.capture_stats
+    assert stats["mode"] == "incremental"
+    assert stats["regions_clean_gen"] == 1 and stats["regions_dirty"] == 1
+    by_name = {r["name"]: r for r in incr.memory_snapshot["regions"]}
+    prev_by_name = {r["name"]: r for r in base.memory_snapshot["regions"]}
+    # the clean region's stored bytes are the prev image's object — no copy
+    assert by_name["a"]["data"] is prev_by_name["a"]["data"]
+    assert by_name["b"]["data"] is not prev_by_name["b"]["data"]
+    assert incr.region_meta["a"]["ratio"] == base.region_meta["a"]["ratio"]
+
+
+def test_leaked_view_region_proven_clean_by_hash():
+    mem = AddressSpace()
+    r = mem.mmap("a", 4096)
+    view = r.as_ndarray(dtype=np.float64)
+    view[:] = 3.0
+    base = _capture(mem)
+    incr = _capture(mem, prev=base)    # untouched, but view is live
+    assert incr.capture_stats["regions_clean_hash"] == 1
+    assert incr.capture_stats["regions_dirty"] == 0
+    view[0] = 4.0                      # mutate through the view: no touch()
+    dirty = _capture(mem, prev=incr)
+    assert dirty.capture_stats["regions_dirty"] == 1
+    assert _restored(dirty)["a"] == bytes(r.buffer)
+
+
+def test_full_capture_unchanged_without_prev():
+    mem = AddressSpace()
+    mem.mmap("a", 1024, data=b"q" * 1024)
+    image = _capture(mem)
+    assert image.capture_stats["mode"] == "full"
+    assert image.delta_logical_bytes == pytest.approx(
+        image.raw_logical_bytes * image.compression_ratio)
+
+
+def test_scaled_and_nas_data_regions_skip_compression():
+    mem = AddressSpace()
+    mem.mmap("scaled", 1024, repr_scale=64.0)
+    mem.mmap("field", 1024, tag="nas-data")
+    mem.mmap("plain", 1024)
+    image = _capture(mem)
+    assert image.capture_stats["compress_skipped"] == 2
+    assert image.region_meta["scaled"]["ratio"] == 0.99
+    assert image.region_meta["field"]["ratio"] == 0.99
+    # the plain region's ratio was actually measured
+    assert image.region_meta["plain"]["ratio"] != 0.99
+
+
+def test_gzip_off_forces_unit_ratio_even_on_reuse():
+    mem = AddressSpace()
+    mem.mmap("a", 1024, data=b"z" * 1024)
+    base = _capture(mem, gzip=True)
+    raw = _capture(mem, prev=base, gzip=False)
+    assert raw.compression_ratio == 1.0
+
+
+def test_parallel_capture_matches_serial():
+    rng = np.random.default_rng(7)
+    mem = AddressSpace()
+    for i in range(6):
+        data = rng.integers(0, 64, 64 * 1024, dtype=np.uint8).tobytes()
+        mem.mmap(f"r{i}", len(data), data=data)
+    serial = _capture(mem)
+    parallel = _capture(mem, workers=4)
+    assert _restored(parallel) == _restored(serial)
+    assert parallel.compression_ratio == pytest.approx(
+        serial.compression_ratio, abs=1e-12)
+
+
+# -- the bit-identity property ------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 3),
+                  st.integers(0, 255), st.binary(min_size=1, max_size=64)),
+        st.tuples(st.just("view"), st.integers(0, 3),
+                  st.integers(0, 255)),
+        st.tuples(st.just("ckpt"), st.booleans())),
+    min_size=1, max_size=24)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_incremental_chain_restores_bit_identically(ops):
+    """Arbitrary interleavings of tracked writes, untracked leaked-view
+    mutations, and incremental checkpoints (serial or parallel): every
+    image in the chain restores exactly what a full capture would."""
+    mem = AddressSpace()
+    regions = [mem.mmap(f"r{i}", 256) for i in range(4)]
+    prev = None
+    for op in ops:
+        if op[0] == "write":
+            _, i, off, data = op
+            r = regions[i]
+            off = off % (r.size - len(data)) if len(data) < r.size else 0
+            mem.write(r.addr + off, data[: r.size - off])
+        elif op[0] == "view":
+            _, i, value = op
+            regions[i].as_ndarray()[value % 256] = value % 256
+        else:
+            workers = 2 if op[1] else 0
+            incr = _capture(mem, prev=prev, workers=workers)
+            full = _capture(mem)
+            assert _restored(incr) == _restored(full)
+            assert incr.compression_ratio == pytest.approx(
+                full.compression_ratio, abs=1e-12)
+            prev = incr
+    final_incr = _capture(mem, prev=prev)
+    assert _restored(final_incr) == _restored(_capture(mem))
+
+
+def test_incremental_survives_injected_crash_restart():
+    """PR 1's crash-recovery path with incremental checkpointing on: the
+    post-restart checksum matches a failure-free run bit for bit, and the
+    post-crash incremental chain keeps working."""
+    reference = run_chaos_nas(app="lu", klass="A", nprocs=4, iters_sim=60,
+                              seed=77, ckpt_interval=1e9,
+                              schedule=FixedSchedule([]))
+    chaos = run_chaos_nas(app="lu", klass="A", nprocs=4, iters_sim=60,
+                          seed=77, ckpt_interval=2.0,
+                          schedule=FixedSchedule([
+                              FailureEvent(t=6.0, kind="node-crash",
+                                           node_index=1)]),
+                          backoff_base=0.25, incremental=True)
+    assert chaos.checksum == reference.checksum
+    assert chaos.recovery.n_restarts == 1
+    assert chaos.recovery.n_checkpoints >= 2  # chain spans the crash
+
+
+def test_incremental_chaos_matches_full_chaos_fingerprint_checksum():
+    """Same seed, same failures: incremental mode changes checkpoint cost,
+    never data."""
+    kw = dict(app="lu", klass="A", nprocs=4, iters_sim=20, seed=4242,
+              mtbf_node=10.0, ckpt_interval=1.0, backoff_base=0.2,
+              backoff_max=2.0, max_attempts=50)
+    full = run_chaos_nas(**kw)
+    incr = run_chaos_nas(**kw, incremental=True)
+    assert incr.checksum == full.checksum
+
+
+# -- WqeLog -------------------------------------------------------------------
+
+def _entry(wr_id, assume=False):
+    return SimpleNamespace(wr=SimpleNamespace(wr_id=wr_id),
+                           assume_complete_on_drain=assume)
+
+
+def test_wqelog_preserves_post_order():
+    log = WqeLog()
+    for wr_id in (5, 3, 5, 9):
+        log.append(_entry(wr_id))
+    assert [e.wr.wr_id for e in log] == [5, 3, 5, 9]
+    assert len(log) == 4 and bool(log)
+
+
+def test_wqelog_complete_recv_removes_oldest_duplicate():
+    log = WqeLog()
+    a, b, c = _entry(7), _entry(8), _entry(7)
+    for e in (a, b, c):
+        log.append(e)
+    assert log.complete_recv(7)
+    assert list(log) == [b, c]
+    assert not log.complete_recv(99)   # unknown wr_id: no-op
+    assert list(log) == [b, c]
+
+
+def test_wqelog_complete_send_upto_prefix_semantics():
+    """A signaled completion retires every earlier (unsignaled) WQE too."""
+    log = WqeLog()
+    entries = [_entry(i) for i in (1, 2, 3, 4)]
+    for e in entries:
+        log.append(e)
+    assert log.complete_send_upto(3)
+    assert list(log) == [entries[3]]
+    assert not log.complete_send_upto(3)   # already retired
+    assert list(log) == [entries[3]]
+
+
+def test_wqelog_retain_filters_in_order():
+    log = WqeLog()
+    keep = _entry(1)
+    log.append(_entry(2, assume=True))
+    log.append(keep)
+    log.append(_entry(3, assume=True))
+    log.retain(lambda e: not e.assume_complete_on_drain)
+    assert list(log) == [keep]
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.one_of(
+    st.tuples(st.just("post"), st.integers(0, 5)),
+    st.tuples(st.just("recv"), st.integers(0, 5)),
+    st.tuples(st.just("send_upto"), st.integers(0, 5))),
+    max_size=40))
+def test_wqelog_matches_linear_scan_reference(ops):
+    """The indexed log agrees with the seed's linear-scan semantics for
+    arbitrary post/complete interleavings with duplicate wr_ids."""
+    log, ref = WqeLog(), []
+    for kind, wr_id in ops:
+        if kind == "post":
+            e = _entry(wr_id)
+            log.append(e)
+            ref.append(e)
+        elif kind == "recv":
+            log.complete_recv(wr_id)
+            for i, e in enumerate(ref):
+                if e.wr.wr_id == wr_id:
+                    del ref[i]
+                    break
+        else:
+            log.complete_send_upto(wr_id)
+            for i, e in enumerate(ref):
+                if e.wr.wr_id == wr_id:
+                    del ref[: i + 1]
+                    break
+        assert list(log) == ref

@@ -135,6 +135,85 @@ def test_logical_size_accounting():
     assert mem.logical_bytes == 1000 * 256.0 + 24
 
 
+def test_generation_tracks_mutations():
+    mem = AddressSpace()
+    r = mem.mmap("d", 64)
+    g0 = r.generation
+    mem.write(r.addr, b"x")
+    assert r.generation == g0 + 1
+    r.touch()
+    assert r.generation == g0 + 2
+    mem.read(r.addr, 8)  # reads don't bump
+    assert r.generation == g0 + 2
+
+
+def test_ndarray_view_marks_leak():
+    mem = AddressSpace()
+    r = mem.mmap("d", 64)
+    assert not r.views_leaked
+    g0 = r.generation
+    r.as_ndarray()
+    assert r.views_leaked and r.generation == g0 + 1
+
+
+def test_content_hash_cached_until_touch():
+    mem = AddressSpace()
+    r = mem.mmap("d", 64, data=b"a" * 64)
+    h0 = r.content_hash()
+    assert r.content_hash() == h0
+    mem.write(r.addr, b"b")
+    assert r.content_hash() != h0
+
+
+def test_content_hash_sees_view_mutation():
+    """With a leaked view the cache can't be trusted: the hash must track
+    mutations that never called touch()."""
+    mem = AddressSpace()
+    r = mem.mmap("d", 8 * 4)
+    view = r.as_ndarray(dtype=np.float64)
+    h0 = r.content_hash()
+    view[0] = 42.0  # no touch(), no generation bump
+    assert r.content_hash() != h0
+
+
+def test_restore_bumps_generation():
+    mem = AddressSpace()
+    r = mem.mmap("d", 16, data=b"x" * 16)
+    snap = mem.snapshot()
+    g0 = r.generation
+    mem.restore(snap)
+    assert r.generation > g0
+
+
+def test_region_at_bisect_edges():
+    """The bisect index must agree with the old linear scan at every
+    boundary: region starts, last bytes, guard pages, unmapped holes."""
+    mem = AddressSpace()
+    regions = [mem.mmap(f"r{i}", 100 + i * PAGE_SIZE) for i in range(5)]
+    for r in regions:
+        assert mem.region_at(r.addr) is r
+        assert mem.region_at(r.end - 1) is r
+        assert mem.region_at(r.addr, r.size) is r
+        with pytest.raises(MemoryError_):
+            mem.region_at(r.end)  # guard page
+        with pytest.raises(MemoryError_):
+            mem.region_at(r.addr, r.size + 1)  # straddles the end
+    with pytest.raises(MemoryError_):
+        mem.region_at(regions[0].addr - 1)  # below the base
+
+
+def test_region_at_after_munmap():
+    mem = AddressSpace()
+    a = mem.mmap("a", 64)
+    b = mem.mmap("b", 64)
+    c = mem.mmap("c", 64)
+    mem.munmap(b)
+    assert mem.region_at(a.addr) is a
+    assert mem.region_at(c.addr) is c
+    with pytest.raises(MemoryError_):
+        mem.region_at(b.addr)
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.lists(st.binary(min_size=1, max_size=256), min_size=1, max_size=8))
 def test_snapshot_restore_bitexact_property(blobs):
