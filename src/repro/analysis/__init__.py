@@ -1,0 +1,65 @@
+"""repro.analysis — the verbs-protocol analysis gate.
+
+Three coordinated passes keep the shadow-virtualization discipline the
+paper depends on machine-checked instead of convention-checked:
+
+* :mod:`.lint` — AST shadow-isolation and determinism rules over
+  ``src/repro`` (Principle 1, §3.2, deterministic replay);
+* :mod:`.concurrency` — lockset-style check that thread-pool capture
+  workers never touch coordinator-owned Region dirty tracking;
+* :mod:`.protocol` — the opt-in runtime :class:`ProtocolMonitor`
+  validating QP state transitions, WQE-log balance, and per-PD rkey
+  translation while tests and chaos sweeps run.
+
+CLI: ``python -m repro.analysis [paths] [--budget FILE]``.
+"""
+
+from .budget import charge, load_budget, render_report, write_budget
+from .concurrency import CONCURRENCY_RULES, check_paths
+from .findings import Finding
+from .lint import LINT_RULES, lint_paths
+from .protocol import (
+    ProtocolMonitor,
+    ProtocolViolation,
+    install_monitor,
+    monitored,
+    uninstall_monitor,
+)
+
+__all__ = [
+    "Finding",
+    "LINT_RULES",
+    "CONCURRENCY_RULES",
+    "lint_paths",
+    "check_paths",
+    "load_budget",
+    "charge",
+    "render_report",
+    "write_budget",
+    "ProtocolMonitor",
+    "ProtocolViolation",
+    "install_monitor",
+    "uninstall_monitor",
+    "monitored",
+    "run_analysis",
+]
+
+ALL_RULES = {**LINT_RULES, **CONCURRENCY_RULES}
+
+
+def run_analysis(paths, budget_path=None):
+    """Lint + concurrency passes charged against the budget.
+
+    Returns ``(findings, violations, slack)``; the gate passes iff
+    ``violations`` is empty.
+    """
+    from pathlib import Path
+
+    from .budget import DEFAULT_BUDGET_FILE
+
+    findings = lint_paths(paths) + check_paths(paths)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    budget = load_budget(
+        Path(budget_path) if budget_path else Path(DEFAULT_BUDGET_FILE))
+    violations, slack = charge(findings, budget)
+    return findings, violations, slack

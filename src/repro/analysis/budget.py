@@ -1,0 +1,79 @@
+"""The lint budget: a ratchet, not a grandfather clause.
+
+``analysis_budget.json`` (checked in at the repo root) records, per rule,
+the number of *unsuppressed* findings the tree is currently allowed to
+carry.  The gate fails when any rule exceeds its budget — so new debt
+cannot land — and reports slack when the tree has fewer findings than
+budgeted, so the budget can be ratcheted down as debt is paid off.
+Rules absent from the file have budget zero.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["load_budget", "charge", "render_report", "write_budget"]
+
+DEFAULT_BUDGET_FILE = "analysis_budget.json"
+
+
+def load_budget(path: Path) -> Dict[str, int]:
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: budget file must be a JSON object")
+    return {str(rule): int(count) for rule, count in data.items()}
+
+
+def charge(findings: Iterable[Finding],
+           budget: Dict[str, int]) -> Tuple[List[str], List[str]]:
+    """Charge unsuppressed findings against the budget.
+
+    Returns ``(violations, slack)`` — human-readable lines.  Any
+    violation means the gate fails; slack lines invite a ratchet.
+    """
+    counts: Counter = Counter(
+        f.rule for f in findings if not f.suppressed)
+    violations: List[str] = []
+    slack: List[str] = []
+    for rule in sorted(set(counts) | set(budget)):
+        have, allow = counts.get(rule, 0), budget.get(rule, 0)
+        if have > allow:
+            violations.append(
+                f"{rule}: {have} unsuppressed finding(s), budget {allow}"
+                + (" (new debt — fix it or suppress with "
+                   "'# repro: allow(...)' and justify in review)"
+                   if allow else ""))
+        elif have < allow:
+            slack.append(
+                f"{rule}: budget {allow} but only {have} finding(s) — "
+                f"ratchet the budget down to {have}")
+    return violations, slack
+
+
+def render_report(findings: List[Finding], violations: List[str],
+                  slack: List[str]) -> str:
+    lines = [f.render() for f in findings]
+    unsuppressed = sum(1 for f in findings if not f.suppressed)
+    suppressed = len(findings) - unsuppressed
+    lines.append(f"-- {len(findings)} finding(s): {unsuppressed} "
+                 f"unsuppressed, {suppressed} suppressed")
+    for v in violations:
+        lines.append(f"BUDGET VIOLATION: {v}")
+    for s in slack:
+        lines.append(f"budget slack: {s}")
+    return "\n".join(lines)
+
+
+def write_budget(findings: Iterable[Finding], path: Path) -> Dict[str, int]:
+    """--update-budget: snapshot current unsuppressed counts."""
+    counts = Counter(f.rule for f in findings if not f.suppressed)
+    data = {rule: counts[rule] for rule in sorted(counts)}
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return data

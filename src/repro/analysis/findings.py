@@ -1,0 +1,59 @@
+"""The shared finding model for every static pass.
+
+A finding pins one rule violation to one source line.  Suppression is
+per-line and per-rule: a trailing ``# repro: allow(rule-a, rule-b)``
+comment marks that line's findings for those rules as acknowledged debt.
+Suppressed findings are still collected and reported (so the debt stays
+visible), but they never fail the gate; unsuppressed findings are charged
+against the checked-in budget (``budget.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["Finding", "parse_suppressions", "apply_suppressions"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # display path (as discovered under the scan root)
+    line: int
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: [{self.rule}]{mark} {self.message}"
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → set of rule names allowed on that line.
+
+    The special rule name ``*`` allows every rule on the line.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match is not None:
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            allowed.setdefault(lineno, set()).update(rules)
+    return allowed
+
+
+def apply_suppressions(findings: Iterable[Finding],
+                       allowed: Dict[int, Set[str]]) -> List[Finding]:
+    out = []
+    for finding in findings:
+        rules = allowed.get(finding.line, ())
+        if finding.rule in rules or "*" in rules:
+            finding.suppressed = True
+        out.append(finding)
+    return out

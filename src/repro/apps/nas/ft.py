@@ -78,7 +78,7 @@ def ft_app(ctx, comm, klass: str = "B", iters_sim: int = 0) -> Generator:
         # per-iteration checksum (as the reference FT prints)
         local = complex(field[:64].sum())
         total = yield from comm.allreduce_obj(
-            (local.real, local.imag),
+            (local.real, local.imag),  # repro: allow(real-attr) complex.real, not a shadow struct
             lambda a, b: (a[0] + b[0], a[1] + b[1]))
         checksum += abs(complex(*total))
         progress.set_scalar(0, checksum)

@@ -6,6 +6,7 @@ from .errors import (
     NoInfinibandError,
     UnsupportedQpTypeError,
     VirtualIdConflictError,
+    WqeLogError,
 )
 from .plugin import InfinibandPlugin
 from .shadow import (
@@ -35,5 +36,6 @@ __all__ = [
     "VirtualQp",
     "VirtualSrq",
     "VirtualIdConflictError",
+    "WqeLogError",
     "WrappedVerbs",
 ]

@@ -9,6 +9,7 @@ __all__ = [
     "UnsupportedQpTypeError",
     "VirtualIdConflictError",
     "NoInfinibandError",
+    "WqeLogError",
 ]
 
 
@@ -36,3 +37,12 @@ class VirtualIdConflictError(IbPluginError):
 
 class NoInfinibandError(IbPluginError):
     """Restarted on a node with no HCA and no IB2TCP fallback configured."""
+
+
+class WqeLogError(IbPluginError):
+    """A completion arrived for a ``wr_id`` that was never posted (or was
+    already retired).  Principle 3 pairs every polled completion with a
+    logged WQE; an orphan completion means the log and the hardware have
+    diverged — the exact stale-handle / unmatched-WQE regression class the
+    protocol checker exists to catch, so it is a typed, loud failure
+    rather than a silent no-op."""

@@ -33,6 +33,7 @@ from .errors import (
     NoInfinibandError,
     UnsupportedQpTypeError,
     VirtualIdConflictError,
+    WqeLogError,
 )
 from .shadow import (
     VirtualContext,
@@ -57,6 +58,12 @@ class InfinibandPlugin(Plugin):
     """DMTCP plugin for transparent checkpoint-restart over InfiniBand."""
 
     name = "infiniband"
+
+    #: opt-in runtime invariant checker (``repro.analysis.protocol``);
+    #: installed class-wide by ``install_monitor`` so tests and the chaos
+    #: harness validate the QP state machine, WQE-log balance, and per-PD
+    #: rkey translation on every run.  ``None`` costs one attribute read.
+    monitor = None
 
     def __init__(self, costs: CostModel = DEFAULT_COSTS,
                  allow_driver_reload: bool = False,
@@ -204,6 +211,8 @@ class InfinibandPlugin(Plugin):
         self.vqp_by_vqpn[vqpn] = vqp
         self.vqp_by_real_qpn[real.qp_num] = vqp
         self.registry_add(vqp)
+        if self.monitor is not None:
+            self.monitor.on_create_qp(vqp)
         return vqp
 
     # -- id translation (§3.2) ------------------------------------------------------
@@ -221,9 +230,10 @@ class InfinibandPlugin(Plugin):
         if not self.restarted:
             return vrkey  # trivial before the first restart
         qinfo = self.db.get(f"qp:{vqp.remote_vlid}/{vqp.remote_vqpn}")
-        if qinfo is None:
-            return vrkey
-        rkey = self.db.get(f"mr:{qinfo['pd']}:{vrkey}")
+        rkey = None if qinfo is None \
+            else self.db.get(f"mr:{qinfo['pd']}:{vrkey}")
+        if self.monitor is not None:
+            self.monitor.on_translate_rkey(self, vqp, vrkey, qinfo, rkey)
         return vrkey if rkey is None else rkey
 
     def translate_qp_attr(self, attr, mask: QpAttrMask,
@@ -261,13 +271,22 @@ class InfinibandPlugin(Plugin):
         vqp = self.vqp_by_real_qpn.get(wc.qp_num)
         if vqp is None:
             return
-        if wc.opcode in _RECV_OPCODES:
-            log = vqp.vsrq.recv_log if vqp.vsrq is not None else vqp.recv_log
-            log.complete_recv(wc.wr_id)
-        else:
-            # send completions are ordered: a signaled completion implies
-            # every earlier (possibly unsignaled) WQE on the QP completed
-            vqp.send_log.complete_send_upto(wc.wr_id)
+        try:
+            if wc.opcode in _RECV_OPCODES:
+                log = vqp.vsrq.recv_log if vqp.vsrq is not None \
+                    else vqp.recv_log
+                log.complete_recv(wc.wr_id)
+            else:
+                # send completions are ordered: a signaled completion
+                # implies every earlier (possibly unsignaled) WQE on the
+                # QP completed
+                vqp.send_log.complete_send_upto(wc.wr_id)
+        except WqeLogError:
+            if self.monitor is not None:
+                self.monitor.on_orphan_completion(vqp, wc)
+            raise
+        if self.monitor is not None:
+            self.monitor.on_completion(vqp, wc)
 
     # -- Principles 4/5: drain and refill ----------------------------------------------
 
@@ -330,6 +349,8 @@ class InfinibandPlugin(Plugin):
             for vqp in self.qps:
                 vqp.send_log.retain(
                     lambda e: not e.assume_complete_on_drain)
+            if self.monitor is not None:
+                self.monitor.on_write_ckpt(self)
         elif event is DmtcpEvent.RESTART:
             self._restart_recreate()
         elif event is DmtcpEvent.RESTART_REPLAY:
@@ -426,8 +447,13 @@ class InfinibandPlugin(Plugin):
         if self.delegated:
             self.fallback.restart_replay()
             return
+        m = self.monitor
+        if m is not None:
+            m.on_replay_begin(self)
         for vqp in self.qps:
             for attr, mask in vqp.modify_log:
+                if m is not None:
+                    m.on_replay_modify(vqp, attr, mask)
                 self.real_lib.modify_qp(
                     vqp.real, self.translate_qp_attr(attr, mask, vqp), mask)
                 self.stats["replayed_modifies"] += 1
@@ -436,17 +462,25 @@ class InfinibandPlugin(Plugin):
                 self.real_lib.post_srq_recv(
                     vsrq.real, self.wrapped._translate_recv_wr(entry.wr))
                 self.stats["reposted_recvs"] += 1
+                if m is not None:
+                    m.on_repost(vsrq, "recv")
         for vqp in self.qps:
             for entry in vqp.recv_log:
                 vqp.context.real_ops.post_recv(
                     vqp.real, self.wrapped._translate_recv_wr(entry.wr))
                 self.stats["reposted_recvs"] += 1
+                if m is not None:
+                    m.on_repost(vqp, "recv")
         for vqp in self.qps:
             for entry in vqp.send_log:
                 vqp.context.real_ops.post_send(
                     vqp.real,
                     self.wrapped._translate_send_wr(vqp, entry.wr))
                 self.stats["reposted_sends"] += 1
+                if m is not None:
+                    m.on_repost(vqp, "send")
+        if m is not None:
+            m.on_replay_done(self)
         for vcq in self.cqs:
             if vcq.private_queue and vcq.pending_notify is not None \
                     and not vcq.pending_notify.triggered:

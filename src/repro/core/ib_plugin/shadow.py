@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from ...ibverbs.enums import AccessFlags, QpState, QpType
+from .errors import WqeLogError
 from ...ibverbs.structs import (
     ibv_context_ops,
     ibv_qp_attr,
@@ -158,10 +159,17 @@ class WqeLog:
                 del self._by_wr_id[entry.wr.wr_id]
 
     def complete_recv(self, wr_id: int) -> bool:
-        """Destroy the oldest logged WQE with ``wr_id``; False if none."""
+        """Destroy the oldest logged WQE with ``wr_id``.
+
+        Raises :class:`WqeLogError` if no such WQE was ever posted — a
+        completion without a matching log entry violates Principle 3.
+        """
         seqs = self._by_wr_id.get(wr_id)
         if not seqs:
-            return False
+            raise WqeLogError(
+                f"orphan completion: wr_id {wr_id:#x} matches no logged "
+                "recv WQE (Principle 3: every post stays logged until "
+                "its completion is polled)")
         seq = seqs.popleft()
         if not seqs:
             del self._by_wr_id[wr_id]
@@ -170,10 +178,17 @@ class WqeLog:
 
     def complete_send_upto(self, wr_id: int) -> bool:
         """Destroy every WQE up to and including the oldest one with
-        ``wr_id`` (ordered completions); False (and no change) if none."""
+        ``wr_id`` (ordered completions).
+
+        Raises :class:`WqeLogError` if ``wr_id`` was never posted (or was
+        already retired): prefix retirement against an unknown wr_id
+        would silently desynchronize the log from the hardware.
+        """
         seqs = self._by_wr_id.get(wr_id)
         if not seqs:
-            return False
+            raise WqeLogError(
+                f"orphan completion: wr_id {wr_id:#x} matches no logged "
+                "send WQE (already retired, or never posted)")
         target = seqs[0]
         # the prefix is exactly the dict's leading keys (seqs are
         # monotonic): stop at the first key past the target, so the walk

@@ -175,6 +175,12 @@ class WrappedVerbs:
 
     def modify_qp(self, vqp: VirtualQp, attr, mask: QpAttrMask) -> None:
         self._charge()
+        monitor = self.plugin.monitor
+        if monitor is not None:
+            # validate against the shared transition table before the call
+            # is logged or forwarded — an illegal jump must not poison the
+            # replay log
+            monitor.on_modify_qp(vqp, attr, mask)
         # Principle 3: record for restart replay (with the app's VIRTUAL ids)
         vqp.modify_log.append((attr.copy(), mask))
         if mask & QpAttrMask.DEST_QPN:
@@ -188,6 +194,8 @@ class WrappedVerbs:
         self._charge()
         self._real.destroy_qp(vqp.real)
         self.plugin.registry_remove(vqp)
+        if self.plugin.monitor is not None:
+            self.plugin.monitor.on_destroy_qp(vqp)
 
     def post_send(self, vqp: VirtualQp, wr: ibv_send_wr) -> None:
         """Inline function → dispatch through the (plugin's) ops table."""

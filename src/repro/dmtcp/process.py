@@ -104,6 +104,12 @@ class CheckpointRecord:
 class DmtcpProcess:
     """One application process running under dmtcp_launch."""
 
+    #: opt-in runtime invariant checker (``repro.analysis.protocol``);
+    #: validates that the forked background writer is always joined before
+    #: the next epoch's image write.  Installed class-wide, like
+    #: ``InfinibandPlugin.monitor``.
+    monitor = None
+
     def __init__(self, host: ProcessHost, name: str, rank: int, world: int,
                  plugins: List[Plugin], costs: CostModel = DEFAULT_COSTS,
                  gzip: bool = True, ckpt_dir: str = "/tmp",
@@ -185,6 +191,8 @@ class DmtcpProcess:
                 thread.suspend()
         for plugin in self.plugins:
             plugin.event(DmtcpEvent.SUSPEND)
+        if self.monitor is not None:
+            self.monitor.on_quiesce(self.name, epoch)
         yield from self.client.barrier("suspended")
 
         # 2. drain the completion queues until the whole job is quiet
@@ -240,10 +248,15 @@ class DmtcpProcess:
         if self._bg_write is not None and self._bg_write.is_alive:
             yield self._bg_write
         self._bg_write = None
+        if self.monitor is not None:
+            self.monitor.on_bg_write_join(self.name)
+            self.monitor.on_image_write(self.name, epoch)
         yield from disk.write(path, data, logical_size=sync_logical)
         if bg_logical > 0.0 and intent == "resume":
             # forked write-back: the child pushes the remainder while the
             # application resumes (Cao et al.'s overlapped checkpointing)
+            if self.monitor is not None:
+                self.monitor.on_bg_write_start(self.name, epoch)
             self._bg_write = self.host.spawn_thread(
                 disk.write(path, data, logical_size=bg_logical),
                 name=f"{self.name}.ckptfork")

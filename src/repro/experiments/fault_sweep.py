@@ -79,15 +79,17 @@ class SweepResult:
 
 def measure_ckpt_cost(app: str = "lu", klass: str = "A", nprocs: int = 4,
                       ppn: int = 1, iters_sim: int = 0,
-                      seed: int = 2014) -> tuple:
+                      seed: int = 2014, analysis: bool = False) -> tuple:
     """(C, baseline): one checkpoint's wall cost and the failure-free
     completion time, from a calibration run with no fault injection."""
     out = run_chaos_nas(app=app, klass=klass, nprocs=nprocs, ppn=ppn,
                         iters_sim=iters_sim, ckpt_interval=0.3,
-                        seed=seed, schedule=FixedSchedule([]))
+                        seed=seed, schedule=FixedSchedule([]),
+                        analysis=analysis)
     baseline = run_chaos_nas(app=app, klass=klass, nprocs=nprocs, ppn=ppn,
                              iters_sim=iters_sim, ckpt_interval=1e9,
-                             seed=seed, schedule=FixedSchedule([]))
+                             seed=seed, schedule=FixedSchedule([]),
+                             analysis=analysis)
     return out.recovery.mean_ckpt_seconds, baseline.completion_seconds
 
 
@@ -96,10 +98,11 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
               ppn: int = 1, iters_sim: int = 0, base_seed: int = 2014,
               intervals: Optional[List[float]] = None,
               incremental: bool = False, ckpt_workers: int = 0,
-              quiet: bool = False) -> SweepResult:
+              quiet: bool = False, analysis: bool = False) -> SweepResult:
     n_nodes = max(1, -(-nprocs // ppn))
     ckpt_cost, baseline = measure_ckpt_cost(app, klass, nprocs, ppn,
-                                            iters_sim, seed=base_seed)
+                                            iters_sim, seed=base_seed,
+                                            analysis=analysis)
     result = SweepResult(app=app, klass=klass, nprocs=nprocs,
                          n_nodes=n_nodes, ckpt_cost=ckpt_cost,
                          baseline_seconds=baseline)
@@ -124,7 +127,7 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
                         seed=base_seed + 7919 * trial,
                         backoff_base=0.2, backoff_max=2.0,
                         max_attempts=50, incremental=incremental,
-                        ckpt_workers=ckpt_workers)
+                        ckpt_workers=ckpt_workers, analysis=analysis)
                     for trial in range(trials)]
             mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
             cell = SweepCell(
@@ -166,6 +169,10 @@ def main(argv=None) -> int:
                              "the previous image (DESIGN.md §8)")
     parser.add_argument("--ckpt-workers", type=int, default=0,
                         help="compressor threads per process (0 = serial)")
+    parser.add_argument("--analysis", action="store_true",
+                        help="run every chaos job under the strict "
+                             "ProtocolMonitor (repro.analysis) and print "
+                             "its summary")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -175,10 +182,11 @@ def main(argv=None) -> int:
 
     result = run_sweep(mtbfs, trials=trials, iters_sim=iters,
                        base_seed=args.seed, incremental=args.incremental,
-                       ckpt_workers=args.ckpt_workers)
+                       ckpt_workers=args.ckpt_workers,
+                       analysis=args.analysis)
 
     print("\n# restart-path verification under injected crash")
-    verdict = verify_restart_path(seed=args.seed)
+    verdict = verify_restart_path(seed=args.seed, analysis=args.analysis)
     counters = verdict["counters"]
     print(f"# crash: {verdict['crash'].detail} at "
           f"t={verdict['crash'].t:.3f}")
@@ -188,10 +196,18 @@ def main(argv=None) -> int:
           f"{counters['drained_completions']}")
     print(f"# ids remapped: qp {verdict['qps_remapped']}, "
           f"mr {verdict['mrs_remapped']}, lid {verdict['lids_remapped']}")
+    if args.analysis and verdict["protocol"] is not None:
+        proto = verdict["protocol"]
+        print(f"# protocol monitor: {sum(proto['events'].values())} "
+              f"event(s), {len(proto['violations'])} violation(s)")
+        for violation in proto["violations"]:
+            print(f"#   {violation}")
 
     ok = all(result.young_daly_holds(m) for m in mtbfs)
     ok = ok and verdict["qps_remapped"] and verdict["mrs_remapped"] \
         and counters["replayed_modifies"] > 0
+    if args.analysis and verdict["protocol"] is not None:
+        ok = ok and not verdict["protocol"]["violations"]
     print(f"\n# overall: {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
 

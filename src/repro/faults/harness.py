@@ -18,6 +18,7 @@ replays) plus the id re-virtualization evidence.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
@@ -44,6 +45,16 @@ __all__ = [
 _APPS = {"lu": lu_app, "ft": ft_app}
 
 
+def _maybe_monitored(analysis: bool):
+    """Context manager: a fresh strict ProtocolMonitor when ``analysis``
+    is on, a no-op otherwise.  Imported lazily — ``faults`` must not
+    depend on ``analysis`` unless the caller opts in."""
+    if not analysis:
+        return contextlib.nullcontext(None)
+    from ..analysis.protocol import monitored
+    return monitored(strict=True)
+
+
 def young_daly_interval(mtbf_job: float, ckpt_cost: float) -> float:
     """Young's first-order optimum τ* = sqrt(2 · MTBF_job · C), where
     MTBF_job = mtbf_node / n_nodes and C is one checkpoint's wall cost."""
@@ -64,6 +75,8 @@ class ChaosOutcome:
     checksum: float
     recovery: RecoveryOutcome
     failures: List[FailureRecord] = field(default_factory=list)
+    #: ProtocolMonitor.summary() when the run was made with analysis=True
+    protocol: Optional[Dict[str, Any]] = None
 
     @property
     def completion_seconds(self) -> float:
@@ -88,12 +101,16 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
                   backoff_factor: float = 2.0, backoff_max: float = 8.0,
                   disk_kind: str = "local", gzip: bool = True,
                   incremental: bool = False, ckpt_workers: int = 0,
-                  costs: CostModel = DEFAULT_COSTS) -> ChaosOutcome:
+                  costs: CostModel = DEFAULT_COSTS,
+                  analysis: bool = False) -> ChaosOutcome:
     """Run one NAS kernel to completion under chaos; see module docstring.
 
     ``schedule`` overrides the default per-node Poisson(``mtbf_node``)
     schedule of ``kind`` failures (pass ``FixedSchedule([])`` for a
     failure-free run, e.g. to measure the checkpoint cost C).
+    ``analysis`` runs the whole job under a strict
+    :class:`~repro.analysis.ProtocolMonitor`; its summary lands in
+    :attr:`ChaosOutcome.protocol`.
     """
     app_fn = _APPS[app]
     env = Environment()
@@ -125,13 +142,15 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
         env, cluster_factory, specs_for, config, costs=costs,
         plugin_factory=lambda: [InfinibandPlugin(costs=costs)],
         injector=injector)
-    recovery = env.run(until=env.process(manager.run()))
+    with _maybe_monitored(analysis) as monitor:
+        recovery = env.run(until=env.process(manager.run()))
     injector.stop()
     return ChaosOutcome(
         app=app, klass=klass, nprocs=nprocs, n_nodes=n_nodes,
         mtbf_node=mtbf_node, ckpt_interval=ckpt_interval, seed=seed,
         checksum=recovery.results[0].checksum, recovery=recovery,
-        failures=list(injector.records))
+        failures=list(injector.records),
+        protocol=monitor.summary() if monitor is not None else None)
 
 
 def verify_restart_path(seed: int = 2014, klass: str = "A",
@@ -139,7 +158,8 @@ def verify_restart_path(seed: int = 2014, klass: str = "A",
                         spec: HardwareSpec = BUFFALO_CCR,
                         crash_node_index: int = 1,
                         freeze_after: float = 0.25,
-                        costs: CostModel = DEFAULT_COSTS) -> Dict[str, Any]:
+                        costs: CostModel = DEFAULT_COSTS,
+                        analysis: bool = False) -> Dict[str, Any]:
     """Freeze a live LU job, crash a node *via the injector* instead of a
     graceful teardown, restart on a spare cluster, and report the restart
     path's evidence (satellite check of §3's principles under failure).
@@ -186,7 +206,8 @@ def verify_restart_path(seed: int = 2014, klass: str = "A",
         results = yield from session2.wait()
         return record, results
 
-    record, results = env.run(until=env.process(scenario()))
+    with _maybe_monitored(analysis) as monitor:
+        record, results = env.run(until=env.process(scenario()))
 
     counters = {key: sum(p.stats[key] for p in plugins)
                 for key in ("reposted_sends", "reposted_recvs",
@@ -205,4 +226,5 @@ def verify_restart_path(seed: int = 2014, klass: str = "A",
             vmr.rkey != vmr.real.rkey for vmr in mrs),
         "lids_remapped": bool(ctxs) and all(
             vctx.vlid != vctx.real_lid for vctx in ctxs),
+        "protocol": monitor.summary() if monitor is not None else None,
     }

@@ -14,6 +14,8 @@ __all__ = [
     "SendFlags",
     "AccessFlags",
     "QpAttrMask",
+    "LEGAL_QP_TRANSITIONS",
+    "qp_transition_legal",
 ]
 
 
@@ -27,6 +29,33 @@ class QpState(enum.Enum):
     SQD = 4
     SQE = 5
     ERR = 6
+
+
+#: The legal ``ibv_modify_qp`` state transitions for connected (RC/UC)
+#: queue pairs — exactly the RESET→INIT→RTR→RTS ladder the paper
+#: exercises, plus attribute-only updates in RTS and the ERR→RESET
+#: recovery edge.  SQD/SQE drains are deliberately absent: the paper's
+#: checkpoint protocol never uses them, so both the driver model
+#: (``verbs.py``) and the runtime ``ProtocolMonitor`` reject them from
+#: this one table.
+LEGAL_QP_TRANSITIONS = frozenset({
+    (QpState.RESET, QpState.INIT),
+    (QpState.INIT, QpState.RTR),
+    (QpState.RTR, QpState.RTS),
+    (QpState.RTS, QpState.RTS),   # attribute-only updates
+    (QpState.RESET, QpState.RESET),
+    (QpState.ERR, QpState.RESET),
+})
+
+
+def qp_transition_legal(old: "QpState", new: "QpState") -> bool:
+    """True iff ``modify_qp`` may move a QP from ``old`` to ``new``.
+
+    Any state may be forced into ERR (the hardware does exactly that on a
+    fatal work-request error); everything else must follow
+    :data:`LEGAL_QP_TRANSITIONS`.
+    """
+    return new is QpState.ERR or (old, new) in LEGAL_QP_TRANSITIONS
 
 
 class QpType(enum.Enum):

@@ -18,7 +18,14 @@ import itertools
 from typing import List, Optional
 
 from ..hardware.node import ProcessHost
-from .enums import AccessFlags, QpAttrMask, QpState, QpType, SendFlags
+from .enums import (
+    AccessFlags,
+    QpAttrMask,
+    QpState,
+    QpType,
+    SendFlags,
+    qp_transition_legal,
+)
 from .structs import (
     StaleResourceError,
     VerbsError,
@@ -42,16 +49,6 @@ from .transport import CqHardware, DriverSession, QpHardware, SrqHardware
 __all__ = ["VerbsLib"]
 
 _pd_handles = itertools.count(0x10)
-
-# Legal ibv_modify_qp transitions for RC QPs (subset we model).
-_TRANSITIONS = {
-    (QpState.RESET, QpState.INIT),
-    (QpState.INIT, QpState.RTR),
-    (QpState.RTR, QpState.RTS),
-    (QpState.RTS, QpState.RTS),   # attribute-only updates
-    (QpState.RESET, QpState.RESET),
-    (QpState.ERR, QpState.RESET),
-}
 
 
 class _Blob:
@@ -201,18 +198,17 @@ class VerbsLib:
         hw: QpHardware = qp._hw
         if mask & QpAttrMask.STATE:
             new = attr.qp_state
-            if new is QpState.ERR:
-                qp.state = QpState.ERR
-            elif (qp.state, new) not in _TRANSITIONS:
+            # one shared transition table (enums.LEGAL_QP_TRANSITIONS) —
+            # the runtime ProtocolMonitor validates against the same one
+            if not qp_transition_legal(qp.state, new):
                 raise VerbsError(
                     f"illegal QP transition {qp.state.name} -> {new.name}")
-            else:
-                if new is QpState.RTR and qp.qp_type is QpType.RC:
-                    if not (mask & QpAttrMask.DEST_QPN
-                            and mask & QpAttrMask.AV):
-                        raise VerbsError(
-                            "INIT->RTR requires DEST_QPN and AV (dlid)")
-                qp.state = new
+            if new is QpState.RTR and qp.qp_type is QpType.RC:
+                if not (mask & QpAttrMask.DEST_QPN
+                        and mask & QpAttrMask.AV):
+                    raise VerbsError(
+                        "INIT->RTR requires DEST_QPN and AV (dlid)")
+            qp.state = new
         if mask & QpAttrMask.DEST_QPN or mask & QpAttrMask.AV:
             dlid = attr.dlid if mask & QpAttrMask.AV else (
                 hw.dest[0] if hw.dest else 0)

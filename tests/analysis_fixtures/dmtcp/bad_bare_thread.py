@@ -1,0 +1,9 @@
+"""Fixture: real thread construction outside dmtcp/image.py (bare-thread)."""
+
+import threading
+
+
+def spawn(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    return worker

@@ -1,0 +1,11 @@
+"""Fixture: pool worker mutating coordinator-owned Region state
+(pool-region-mutation)."""
+
+
+def _worker(region):
+    region.touch(0)
+    return region.generation
+
+
+def capture(pool, regions):
+    return list(pool.map(_worker, regions))

@@ -1,0 +1,9 @@
+"""Fixture: acknowledged thread construction."""
+
+import threading  # repro: allow(bare-thread)
+
+
+def spawn(fn):
+    worker = threading.Thread(target=fn)  # repro: allow(bare-thread)
+    worker.start()
+    return worker

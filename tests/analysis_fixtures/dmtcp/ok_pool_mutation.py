@@ -1,0 +1,10 @@
+"""Fixture: acknowledged worker mutation of Region state."""
+
+
+def _worker(region):
+    region.touch(0)
+    return region.generation
+
+
+def capture(pool, regions):
+    return list(pool.map(_worker, regions))  # repro: allow(pool-region-mutation)

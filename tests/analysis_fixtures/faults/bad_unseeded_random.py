@@ -1,0 +1,7 @@
+"""Fixture: global-state randomness in faults/ (unseeded-random)."""
+
+import random
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,7 @@
+"""Fixture: acknowledged global-state randomness."""
+
+import random  # repro: allow(unseeded-random)
+
+
+def jitter():
+    return random.random()  # repro: allow(unseeded-random)

@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read in a deterministic subsystem (wallclock)."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: acknowledged wall-clock read."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: allow(wallclock)

@@ -1,0 +1,5 @@
+"""Fixture: raw id equality bypassing §3.2 translation (raw-id-compare)."""
+
+
+def same_endpoint(a, b):
+    return a.qp_num == b.qp_num

@@ -1,0 +1,5 @@
+"""Fixture: shadow-struct .real dereference above core/ (real-attr)."""
+
+
+def leak_real_handle(vqp):
+    return vqp.real

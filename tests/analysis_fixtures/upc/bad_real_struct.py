@@ -1,0 +1,7 @@
+"""Fixture: real verbs struct held above the shadow layer (real-struct)."""
+
+from repro.ibverbs.structs import ibv_qp
+
+
+def cache_raw_qp():
+    return ibv_qp(qp_num=7)

@@ -1,0 +1,5 @@
+"""Fixture: acknowledged raw id comparison."""
+
+
+def same_endpoint(a, b):
+    return a.qp_num == b.qp_num  # repro: allow(raw-id-compare)

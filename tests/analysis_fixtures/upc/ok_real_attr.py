@@ -1,0 +1,5 @@
+"""Fixture: acknowledged .real dereference."""
+
+
+def leak_real_handle(vqp):
+    return vqp.real  # repro: allow(real-attr)

@@ -1,0 +1,7 @@
+"""Fixture: same debt as bad_real_struct.py, acknowledged inline."""
+
+from repro.ibverbs.structs import ibv_qp  # repro: allow(real-struct)
+
+
+def cache_raw_qp():
+    return ibv_qp(qp_num=7)  # repro: allow(real-struct)

@@ -5,6 +5,7 @@ from typing import List
 
 import pytest
 
+from repro.analysis import ProtocolMonitor, install_monitor, uninstall_monitor
 from repro.hardware import BUFFALO_CCR, Cluster, HardwareSpec, ProcessHost
 from repro.ibverbs import (
     AccessFlags,
@@ -12,6 +13,19 @@ from repro.ibverbs import (
     ibv_qp_init_attr,
 )
 from repro.sim import Environment
+
+
+@pytest.fixture(autouse=True)
+def protocol_monitor():
+    """Every test runs under a fresh strict ProtocolMonitor: any QP
+    state-machine, WQE-balance, rkey-PD, or writer-quiesce violation in
+    the shadow layer fails the test at the offending call."""
+    monitor = ProtocolMonitor(strict=True)
+    prev = install_monitor(monitor)
+    try:
+        yield monitor
+    finally:
+        uninstall_monitor(prev)
 
 
 @dataclass

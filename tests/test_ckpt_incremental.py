@@ -14,6 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.ib_plugin import WqeLogError
 from repro.core.ib_plugin.shadow import WqeLog
 from repro.dmtcp.image import CheckpointImage
 from repro.faults.harness import run_chaos_nas
@@ -203,7 +204,8 @@ def test_wqelog_complete_recv_removes_oldest_duplicate():
         log.append(e)
     assert log.complete_recv(7)
     assert list(log) == [b, c]
-    assert not log.complete_recv(99)   # unknown wr_id: no-op
+    with pytest.raises(WqeLogError, match="orphan"):
+        log.complete_recv(99)          # unknown wr_id: orphan completion
     assert list(log) == [b, c]
 
 
@@ -215,7 +217,8 @@ def test_wqelog_complete_send_upto_prefix_semantics():
         log.append(e)
     assert log.complete_send_upto(3)
     assert list(log) == [entries[3]]
-    assert not log.complete_send_upto(3)   # already retired
+    with pytest.raises(WqeLogError, match="orphan"):
+        log.complete_send_upto(3)          # already retired
     assert list(log) == [entries[3]]
 
 
@@ -245,13 +248,23 @@ def test_wqelog_matches_linear_scan_reference(ops):
             log.append(e)
             ref.append(e)
         elif kind == "recv":
-            log.complete_recv(wr_id)
+            known = any(e.wr.wr_id == wr_id for e in ref)
+            if known:
+                log.complete_recv(wr_id)
+            else:
+                with pytest.raises(WqeLogError):
+                    log.complete_recv(wr_id)
             for i, e in enumerate(ref):
                 if e.wr.wr_id == wr_id:
                     del ref[i]
                     break
         else:
-            log.complete_send_upto(wr_id)
+            known = any(e.wr.wr_id == wr_id for e in ref)
+            if known:
+                log.complete_send_upto(wr_id)
+            else:
+                with pytest.raises(WqeLogError):
+                    log.complete_send_upto(wr_id)
             for i, e in enumerate(ref):
                 if e.wr.wr_id == wr_id:
                     del ref[: i + 1]
