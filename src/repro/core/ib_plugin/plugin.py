@@ -65,6 +65,12 @@ class InfinibandPlugin(Plugin):
     #: rkey translation on every run.  ``None`` costs one attribute read.
     monitor = None
 
+    #: opt-in lifecycle tracer (``repro.obs.trace``); installed class-wide
+    #: by ``install_tracer``, same contract as ``monitor``: drain rounds,
+    #: CQ refill hits, WQE replay re-posts, and the id re-exchange emit
+    #: timeline records when a tracer is attached.
+    tracer = None
+
     def __init__(self, costs: CostModel = DEFAULT_COSTS,
                  allow_driver_reload: bool = False,
                  globally_unique_vids: bool = False,
@@ -304,6 +310,10 @@ class InfinibandPlugin(Plugin):
                     vcq.private_queue.append(self.translate_wc(wc))
                 drained += len(wcs)
         self.stats["drained_completions"] += drained
+        if self.tracer is not None:
+            self.tracer.emit("drain.round", self.appctx.name,
+                             self.appctx.env.now, drained=drained,
+                             cqs=len(self.cqs))
         return drained
 
     def arm_notify(self, vcq: VirtualCq):
@@ -430,6 +440,9 @@ class InfinibandPlugin(Plugin):
         for vmr in self.mrs:
             entries[f"mr:{_pd_key(vmr.vpd.guid)}:{vmr.rkey}"] = \
                 vmr.real.rkey
+        if self.tracer is not None:
+            self.tracer.emit("ns.publish", self.appctx.name,
+                             self.appctx.env.now, entries=len(entries))
         return entries
 
     def ns_receive(self, db: Dict[str, Any]) -> None:
@@ -440,6 +453,9 @@ class InfinibandPlugin(Plugin):
         self._remote_real_to_vqpn = {
             info["qpn"]: int(key.split("/", 1)[1])
             for key, info in db.items() if key.startswith("qp:")}
+        if self.tracer is not None:
+            self.tracer.emit("ns.receive", self.appctx.name,
+                             self.appctx.env.now, entries=len(db))
 
     # -- restart phase 2: replay (Principles 3 and 6) ------------------------------------------
 
@@ -450,6 +466,19 @@ class InfinibandPlugin(Plugin):
         m = self.monitor
         if m is not None:
             m.on_replay_begin(self)
+        tracer = self.tracer
+        replay_span = None
+        reposted_before = (self.stats["reposted_recvs"]
+                           + self.stats["reposted_sends"])
+        if tracer is not None:
+            # the surviving logged set this replay must re-post exactly
+            expected = sum(len(vsrq.recv_log) for vsrq in self.srqs) \
+                + sum(len(vqp.recv_log) + len(vqp.send_log)
+                      for vqp in self.qps)
+            replay_span = tracer.begin(
+                "replay", self.appctx.name, self.appctx.env.now,
+                expected=expected,
+                modifies=sum(len(vqp.modify_log) for vqp in self.qps))
         for vqp in self.qps:
             for attr, mask in vqp.modify_log:
                 if m is not None:
@@ -481,6 +510,15 @@ class InfinibandPlugin(Plugin):
                     m.on_repost(vqp, "send")
         if m is not None:
             m.on_replay_done(self)
+        if tracer is not None:
+            expected_now = sum(len(vsrq.recv_log) for vsrq in self.srqs) \
+                + sum(len(vqp.recv_log) + len(vqp.send_log)
+                      for vqp in self.qps)
+            tracer.end(replay_span, self.appctx.env.now,
+                       expected=expected_now,
+                       reposts=(self.stats["reposted_recvs"]
+                                + self.stats["reposted_sends"]
+                                - reposted_before))
         for vcq in self.cqs:
             if vcq.private_queue and vcq.pending_notify is not None \
                     and not vcq.pending_notify.triggered:

@@ -250,15 +250,28 @@ class WrappedVerbs:
         """Principle 5: refill from the plugin's private queue first; the
         real CQ is only polled once the private queue is empty."""
         self._charge()
+        private_before = len(vcq.private_queue)
         out: List[ibv_wc] = []
         while vcq.private_queue and len(out) < num_entries:
             out.append(vcq.private_queue.pop(0))
+        served_private = len(out)
         if len(out) < num_entries and not self.plugin.delegated:
             real_wcs = vcq.context.real_ops.poll_cq(
                 vcq.real, num_entries - len(out))
             for wc in real_wcs:
                 self.plugin.bookkeep_completion(wc)
                 out.append(self.plugin.translate_wc(wc))
+        tracer = self.plugin.tracer
+        if tracer is not None and (private_before > 0 or len(out)
+                                   > served_private):
+            # empty polls are not recorded — only refill activity and
+            # real-CQ hits carry Principle-5 evidence
+            tracer.emit("refill.poll", self.plugin.appctx.name,
+                        self.plugin.appctx.env.now,
+                        private_before=private_before,
+                        served_private=served_private,
+                        served_real=len(out) - served_private,
+                        restarted=self.plugin.restarted)
         return out
 
     def ops_req_notify_cq(self, vcq: VirtualCq, solicited_only: bool = False):

@@ -29,6 +29,11 @@ class _ClientHandle:
 class Coordinator:
     """Runs on a (login) node; speaks the client protocol over TCP."""
 
+    #: opt-in lifecycle tracer (``repro.obs.trace``), installed class-wide
+    #: by ``install_tracer``: checkpoint requests/completions and global
+    #: drain verdicts emit timeline records when a tracer is attached.
+    tracer = None
+
     def __init__(self, node: Node, port: int = COORD_PORT,
                  expected_clients: Optional[int] = None):
         self.node = node
@@ -134,6 +139,10 @@ class Coordinator:
         self._drain_reports.append(count)
         if len(self._drain_reports) == self._quorum():
             done = sum(self._drain_reports) == 0
+            if self.tracer is not None:
+                self.tracer.emit("coord.drain.verdict", "coord",
+                                 self.env.now, done=done,
+                                 total=sum(self._drain_reports))
             self._drain_reports.clear()
             for client in self.clients:
                 yield from client.conn.send(
@@ -154,12 +163,19 @@ class Coordinator:
         self._ckpt_epoch += 1
         self._ckpt_stats = []
         self._ckpt_done_evt = self.env.event()
+        if self.tracer is not None:
+            self.tracer.emit("coord.ckpt.request", "coord", self.env.now,
+                             epoch=self._ckpt_epoch, intent=intent,
+                             clients=len(self.clients))
         for client in self.clients:
             yield from client.conn.send({"op": "checkpoint",
                                          "intent": intent,
                                          "epoch": self._ckpt_epoch})
         stats = yield self._ckpt_done_evt
         self._ckpt_done_evt = None
+        if self.tracer is not None:
+            self.tracer.emit("coord.ckpt.done", "coord", self.env.now,
+                             epoch=self._ckpt_epoch, procs=len(stats))
         return stats
 
 

@@ -90,12 +90,18 @@ class CheckpointImage:
                 gzip: bool = True, checkpointer: str = "dmtcp",
                 header_bytes: float = 0.0,
                 prev: Optional["CheckpointImage"] = None,
-                workers: int = 0) -> "CheckpointImage":
+                workers: int = 0, tracer=None,
+                t_sim: float = 0.0) -> "CheckpointImage":
         """Capture ``memory``, incrementally against ``prev`` if given.
 
         ``workers`` > 0 fans dirty-region compression measurement out over
         a shared thread pool; 0 keeps the pipeline serial (chunked either
         way).  The restored memory is bit-identical in every mode.
+
+        ``tracer``/``t_sim`` come from the caller (``DmtcpProcess``
+        passes its class-wide tracer and ``env.now``): this module never
+        imports ``repro.obs`` and never reads a clock — the tracer stamps
+        wall time itself, and capture advances no simulated time.
         """
         prev_snap: Dict[str, dict] = {}
         prev_meta: Dict[str, dict] = {}
@@ -172,6 +178,14 @@ class CheckpointImage:
                 else:
                     ratio = None        # measured below, maybe in parallel
 
+            if tracer is not None:
+                how = "dirty" if not clean else (
+                    "gen" if pm is not None
+                    and not region.views_leaked
+                    and region.generation == pm["generation"] else "hash")
+                tracer.emit("capture.region", proc_name, t_sim,
+                            name=region.name, clean=clean, how=how,
+                            bytes=region.size)
             entry = {"generation": region.generation, "hash": rhash,
                      "ratio": ratio}
             meta[region.name] = entry
@@ -186,6 +200,9 @@ class CheckpointImage:
 
         # -- chunked ratio measurement, serial or fanned out ----------------
         if measure_jobs:
+            compress_span = None if tracer is None else tracer.begin(
+                "capture.compress", proc_name, t_sim,
+                regions=len(measure_jobs), workers=workers)
             chunks = []     # (job_index, chunk)
             for j, (_entry, data) in enumerate(measure_jobs):
                 for off in range(0, len(data), CAPTURE_CHUNK_BYTES):
@@ -199,6 +216,10 @@ class CheckpointImage:
                 compressed[j] += zl
             for (entry, data), zbytes in zip(measure_jobs, compressed):
                 entry["ratio"] = zbytes / max(1, len(data))
+            if tracer is not None:
+                # sim duration is 0 (capture is instantaneous in sim
+                # time); the span's wall duration is the real zlib cost
+                tracer.end(compress_span, t_sim, chunks=len(chunks))
 
         # -- weighting: each region's effective ratio by its logical bytes;
         #    the dirty subset is what a delta write-back must push --------

@@ -110,6 +110,12 @@ class DmtcpProcess:
     #: ``InfinibandPlugin.monitor``.
     monitor = None
 
+    #: opt-in lifecycle tracer (``repro.obs.trace``), installed class-wide
+    #: by ``install_tracer``: the checkpoint pipeline (quiesce, drain,
+    #: settle, capture, write, background write-back) and the restart flow
+    #: emit timeline spans when a tracer is attached.
+    tracer = None
+
     def __init__(self, host: ProcessHost, name: str, rank: int, world: int,
                  plugins: List[Plugin], costs: CostModel = DEFAULT_COSTS,
                  gzip: bool = True, ckpt_dir: str = "/tmp",
@@ -177,6 +183,14 @@ class DmtcpProcess:
 
     def _do_checkpoint(self, intent: str, epoch: int = 0) -> Generator:
         t0 = self.env.now
+        tracer = self.tracer
+        gen = self.appctx.restarts
+        ckpt_span = quiesce_span = None
+        if tracer is not None:
+            ckpt_span = tracer.begin("ckpt", self.name, t0, epoch=epoch,
+                                     intent=intent, gen=gen)
+            quiesce_span = tracer.begin("ckpt.quiesce", self.name, t0,
+                                        epoch=epoch, gen=gen)
         # 1. quiesce user threads — every live thread of the process except
         # the checkpoint manager itself (runtimes spawn helpers: progress
         # engines, rendezvous puts, accept loops) and the forked child
@@ -194,6 +208,11 @@ class DmtcpProcess:
         if self.monitor is not None:
             self.monitor.on_quiesce(self.name, epoch)
         yield from self.client.barrier("suspended")
+        drain_span = None
+        if tracer is not None:
+            tracer.end(quiesce_span, self.env.now)
+            drain_span = tracer.begin("ckpt.drain", self.name,
+                                      self.env.now, epoch=epoch, gen=gen)
 
         # 2. drain the completion queues until the whole job is quiet
         #    (§3 Principle 4 + §4 settle loop, made global via coordinator)
@@ -203,12 +222,27 @@ class DmtcpProcess:
             count = 0
             for plugin in self.plugins:
                 count += plugin.drain_round()
+            # the settle wait is pure simulated time (costs.drain_settle
+            # through the sim clock): deterministic under test, traced as
+            # its own span
+            settle_span = None if tracer is None else tracer.begin(
+                "drain.settle", self.name, self.env.now, epoch=epoch)
             yield self.env.timeout(self.costs.drain_settle)
+            if tracer is not None:
+                tracer.end(settle_span, self.env.now)
             for plugin in self.plugins:
                 count += plugin.drain_round()
             done = yield from self.client.drain_status(count)
             if done:
                 break
+        if tracer is not None:
+            # the coordinator declared every CQ of every process quiet:
+            # the Principle-4 precondition for capture
+            tracer.emit("drain.quiesce", self.name, self.env.now,
+                        epoch=epoch, gen=gen,
+                        cqs=sum(len(getattr(p, "cqs", ()))
+                                for p in self.plugins))
+            tracer.end(drain_span, self.env.now)
 
         # 3. write the image — the incremental/parallel pipeline
         for plugin in self.plugins:
@@ -219,17 +253,27 @@ class DmtcpProcess:
                                                      hca_vendor)
         prev = self.last_record.image \
             if (self.incremental and self.last_record is not None) else None
+        capture_span = None if tracer is None else tracer.begin(
+            "ckpt.capture", self.name, self.env.now, epoch=epoch, gen=gen)
         image = CheckpointImage.capture(
             proc_name=self.name, pid=self.host.pid,
             kernel_version=self.host.node.kernel_version,
             hca_vendor=hca_vendor, memory=self.host.memory,
             gzip=self.gzip, header_bytes=self.costs.image_header_bytes,
-            prev=prev, workers=self.ckpt_workers)
+            prev=prev, workers=self.ckpt_workers,
+            tracer=tracer, t_sim=self.env.now)
         # incremental scan: hash-verifying candidate-clean memory costs time
         scan_seconds = self.costs.hash_seconds(
             image.capture_stats.get("logical_hashed", 0.0))
         if scan_seconds > 0.0:
             yield self.host.compute(seconds=scan_seconds)
+        if tracer is not None:
+            cstats = image.capture_stats
+            tracer.end(capture_span, self.env.now,
+                       mode=cstats.get("mode", "full"),
+                       regions_dirty=cstats.get("regions_dirty", 0),
+                       regions_clean=cstats.get("regions_clean_gen", 0)
+                       + cstats.get("regions_clean_hash", 0))
         disk = self.host.node.disk(self.disk_kind)
         path = f"{self.ckpt_dir}/ckpt_{self.name}.dmtcp"
         data = image.to_bytes()
@@ -251,6 +295,10 @@ class DmtcpProcess:
         if self.monitor is not None:
             self.monitor.on_bg_write_join(self.name)
             self.monitor.on_image_write(self.name, epoch)
+        stall = self.costs.gzip_stall_factor(self.ckpt_workers) \
+            if self.gzip else 1.0
+        write_span = None if tracer is None else tracer.begin(
+            "ckpt.write", self.name, self.env.now, epoch=epoch, gen=gen)
         yield from disk.write(path, data, logical_size=sync_logical)
         if bg_logical > 0.0 and intent == "resume":
             # forked write-back: the child pushes the remainder while the
@@ -258,14 +306,20 @@ class DmtcpProcess:
             if self.monitor is not None:
                 self.monitor.on_bg_write_start(self.name, epoch)
             self._bg_write = self.host.spawn_thread(
-                disk.write(path, data, logical_size=bg_logical),
+                self._bg_write_flow(disk, path, data, bg_logical, epoch),
                 name=f"{self.name}.ckptfork")
         elif bg_logical > 0.0:
             # frozen processes have nothing to overlap with: write it all
             yield from disk.write(path, data, logical_size=bg_logical)
+        if tracer is not None:
+            tracer.end(write_span, self.env.now, stall=stall,
+                       sync_logical=sync_logical, bg_logical=bg_logical)
         yield from self.client.barrier("written")
 
         ckpt_seconds = self.env.now - t0
+        if tracer is not None:
+            tracer.end(ckpt_span, self.env.now,
+                       ckpt_seconds=ckpt_seconds)
         self.last_record = CheckpointRecord(
             name=self.name, rank=self.rank, node_index=self.node_index,
             path=path, disk_kind=self.disk_kind, image=image,
@@ -297,6 +351,21 @@ class DmtcpProcess:
             for thread in self.user_threads:
                 if thread.is_alive:
                     thread.unsuspend()
+
+    def _bg_write_flow(self, disk, path: str, data: bytes,
+                       logical: float, epoch: int) -> Generator:
+        """The forked child's overlapped write-back, as a traced span.
+
+        The tracer reference is captured at spawn time: if the tracer is
+        uninstalled (test teardown) while the child is still writing, the
+        end record lands in the same trace as the begin."""
+        tracer = self.tracer
+        span = None if tracer is None else tracer.begin(
+            "bg_write", self.name, self.env.now, epoch=epoch,
+            gen=self.appctx.restarts, logical=logical)
+        yield from disk.write(path, data, logical_size=logical)
+        if tracer is not None:
+            tracer.end(span, self.env.now)
 
     # -- restart ------------------------------------------------------------------
 
@@ -337,6 +406,9 @@ class DmtcpProcess:
 
     def restart_flow(self, coord_host: str, coord_port: int) -> Generator:
         """Process generator: the RESTART protocol (hooks + ns exchange)."""
+        tracer = self.tracer
+        restart_span = None if tracer is None else tracer.begin(
+            "restart", self.name, self.env.now, gen=self.appctx.restarts)
         self.client = yield from CoordinatorClient.connect(
             self.host.node, coord_host, coord_port, self.name)
         # mtcp_restart process bring-up (constant, image-size-independent)
@@ -375,3 +447,5 @@ class DmtcpProcess:
                 thread.unsuspend()
         self.manager = self.host.spawn_thread(
             self._manager(), name=f"{self.name}.ckptmgr")
+        if tracer is not None:
+            tracer.end(restart_span, self.env.now)

@@ -173,6 +173,11 @@ def main(argv=None) -> int:
                         help="run every chaos job under the strict "
                              "ProtocolMonitor (repro.analysis) and print "
                              "its summary")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="additionally run one traced LU job, write "
+                             "its lifecycle trace (JSONL) to PATH, and "
+                             "print the repro.obs per-phase checkpoint "
+                             "decomposition")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -202,6 +207,20 @@ def main(argv=None) -> int:
               f"event(s), {len(proto['violations'])} violation(s)")
         for violation in proto["violations"]:
             print(f"#   {violation}")
+
+    if args.trace is not None:
+        from ..obs import check_trace_invariants, decompose, render, \
+            trace_scenario
+        tracer, traced_run = trace_scenario(
+            app="lu", seed=args.seed,
+            iters_sim=24 if args.smoke else 100, sink=args.trace)
+        print(f"\n# traced LU run: {len(tracer.events)} record(s) "
+              f"written to {args.trace}")
+        print(render(decompose(tracer.events)))
+        violations = check_trace_invariants(tracer.events,
+                                            dropped=tracer.dropped)
+        print(f"# trace invariants: "
+              f"{'clean' if not violations else violations}")
 
     ok = all(result.young_daly_holds(m) for m in mtbfs)
     ok = ok and verdict["qps_remapped"] and verdict["mrs_remapped"] \

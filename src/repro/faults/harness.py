@@ -55,6 +55,16 @@ def _maybe_monitored(analysis: bool):
     return monitored(strict=True)
 
 
+def _maybe_traced(trace: bool):
+    """Context manager: a fresh class-wide lifecycle Tracer when
+    ``trace`` is on, a no-op otherwise.  Imported lazily — ``faults``
+    must not depend on ``obs`` unless the caller opts in."""
+    if not trace:
+        return contextlib.nullcontext(None)
+    from ..obs.trace import traced
+    return traced()
+
+
 def young_daly_interval(mtbf_job: float, ckpt_cost: float) -> float:
     """Young's first-order optimum τ* = sqrt(2 · MTBF_job · C), where
     MTBF_job = mtbf_node / n_nodes and C is one checkpoint's wall cost."""
@@ -77,6 +87,9 @@ class ChaosOutcome:
     failures: List[FailureRecord] = field(default_factory=list)
     #: ProtocolMonitor.summary() when the run was made with analysis=True
     protocol: Optional[Dict[str, Any]] = None
+    #: the lifecycle trace (event dicts, see ``repro.obs.trace``) when
+    #: the run was made with trace=True
+    trace_events: Optional[List[Dict[str, Any]]] = None
 
     @property
     def completion_seconds(self) -> float:
@@ -102,7 +115,8 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
                   disk_kind: str = "local", gzip: bool = True,
                   incremental: bool = False, ckpt_workers: int = 0,
                   costs: CostModel = DEFAULT_COSTS,
-                  analysis: bool = False) -> ChaosOutcome:
+                  analysis: bool = False,
+                  trace: bool = False) -> ChaosOutcome:
     """Run one NAS kernel to completion under chaos; see module docstring.
 
     ``schedule`` overrides the default per-node Poisson(``mtbf_node``)
@@ -110,7 +124,9 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
     failure-free run, e.g. to measure the checkpoint cost C).
     ``analysis`` runs the whole job under a strict
     :class:`~repro.analysis.ProtocolMonitor`; its summary lands in
-    :attr:`ChaosOutcome.protocol`.
+    :attr:`ChaosOutcome.protocol`.  ``trace`` runs it under a fresh
+    :class:`~repro.obs.Tracer`; the recorded events land in
+    :attr:`ChaosOutcome.trace_events`.
     """
     app_fn = _APPS[app]
     env = Environment()
@@ -142,7 +158,8 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
         env, cluster_factory, specs_for, config, costs=costs,
         plugin_factory=lambda: [InfinibandPlugin(costs=costs)],
         injector=injector)
-    with _maybe_monitored(analysis) as monitor:
+    with _maybe_monitored(analysis) as monitor, \
+            _maybe_traced(trace) as tracer:
         recovery = env.run(until=env.process(manager.run()))
     injector.stop()
     return ChaosOutcome(
@@ -150,7 +167,8 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
         mtbf_node=mtbf_node, ckpt_interval=ckpt_interval, seed=seed,
         checksum=recovery.results[0].checksum, recovery=recovery,
         failures=list(injector.records),
-        protocol=monitor.summary() if monitor is not None else None)
+        protocol=monitor.summary() if monitor is not None else None,
+        trace_events=tracer.events if tracer is not None else None)
 
 
 def verify_restart_path(seed: int = 2014, klass: str = "A",

@@ -268,6 +268,12 @@ class RecoveryManager:
     (rank-0 placement and hostnames are cluster-specific).
     """
 
+    #: opt-in lifecycle tracer (``repro.obs.trace``), installed class-wide
+    #: by ``install_tracer``: every timeline mark (launch, restart,
+    #: checkpoint, failure, backoff, done, give-up) also lands in the
+    #: trace as a ``harness.<kind>`` record.
+    tracer = None
+
     def __init__(self, env: Environment,
                  cluster_factory: Callable[[str], Cluster],
                  specs_for: Callable[[Cluster], List[AppSpec]],
@@ -292,6 +298,9 @@ class RecoveryManager:
               detail: str) -> None:
         outcome.timeline.append(
             TimelineEvent(t=self.env.now, kind=kind, detail=detail))
+        if self.tracer is not None:
+            self.tracer.emit(f"harness.{kind}", self.name, self.env.now,
+                             detail=detail)
 
     def _plugins(self) -> list:
         return list(self.plugin_factory()) + [ChaosPlugin(self.gate)]

@@ -1,0 +1,53 @@
+"""repro.obs — observability for the checkpoint-restart lifecycle.
+
+Structured tracing (:mod:`.trace`), metrics (:mod:`.metrics`), trace
+invariants (:mod:`.invariants`), and the Table 2-style per-phase report
+(:mod:`.report` / ``python -m repro.obs report``).
+
+Hooked into the simulation the same way :mod:`repro.analysis` is: a
+``tracer`` class attribute installed class-wide by
+:func:`install_tracer` — the instrumented packages never import this
+one.
+"""
+
+from .invariants import (
+    TraceInvariantViolation,
+    assert_trace_invariants,
+    check_trace_invariants,
+    split_segments,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import decompose, render, trace_scenario
+from .trace import (
+    Tracer,
+    canonicalize,
+    install_tracer,
+    load_trace,
+    traced,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "TraceInvariantViolation",
+    "assert_trace_invariants",
+    "canonicalize",
+    "check_trace_invariants",
+    "decompose",
+    "install_tracer",
+    "load_trace",
+    "render",
+    "split_segments",
+    "trace_scenario",
+    "traced",
+    "uninstall_tracer",
+]

@@ -1,0 +1,81 @@
+"""CLI: ``python -m repro.obs report`` — per-phase checkpoint-time
+decomposition (paper Table 2's layout) from a live traced run or a
+saved JSONL trace.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs report                # traced LU run
+    PYTHONPATH=src python -m repro.obs report --run ft --crash-at 6
+    PYTHONPATH=src python -m repro.obs report --trace run.jsonl
+    PYTHONPATH=src python -m repro.obs report --sink run.jsonl --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .invariants import check_trace_invariants
+from .report import decompose, render, trace_scenario
+from .trace import load_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability reports for checkpoint-restart runs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report", help="per-phase checkpoint-time decomposition")
+    rep.add_argument("--trace", metavar="PATH",
+                     help="read a saved JSONL trace instead of running")
+    rep.add_argument("--run", choices=("lu", "ft"), default="lu",
+                     help="NAS kernel to run under the tracer "
+                          "(default: lu)")
+    rep.add_argument("--seed", type=int, default=2014)
+    rep.add_argument("--iters", type=int, default=24,
+                     help="simulated NAS iterations")
+    rep.add_argument("--ckpt-interval", type=float, default=1.0)
+    rep.add_argument("--crash-at", type=float, default=None,
+                     help="inject a fatal node crash at this sim time so "
+                          "the trace exercises refill + replay")
+    rep.add_argument("--sink", metavar="PATH", default=None,
+                     help="also write the trace as JSONL to PATH")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the decomposition as JSON")
+    args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        events = load_trace(args.trace)
+        dropped = 0
+    else:
+        tracer, outcome = trace_scenario(
+            app=args.run, seed=args.seed, iters_sim=args.iters,
+            ckpt_interval=args.ckpt_interval, crash_at=args.crash_at,
+            sink=args.sink)
+        events = tracer.events
+        dropped = tracer.dropped
+        print(f"# {args.run.upper()} completed in "
+              f"{outcome.completion_seconds:.3f}s (sim): "
+              f"{outcome.recovery.n_checkpoints} checkpoint(s), "
+              f"{outcome.recovery.n_restarts} restart(s), "
+              f"{len(events)} trace record(s)")
+
+    violations = check_trace_invariants(events, dropped=dropped)
+    decomp = decompose(events)
+    if args.json:
+        print(json.dumps({"decomposition": decomp,
+                          "violations": violations}, indent=2))
+    else:
+        print(render(decomp))
+        if violations:
+            print(f"# {len(violations)} trace invariant violation(s):")
+            for violation in violations:
+                print(f"#   {violation}")
+        else:
+            print("# trace invariants: all clean")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

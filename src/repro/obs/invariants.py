@@ -1,0 +1,179 @@
+"""Trace-level protocol invariants.
+
+These checks replay a recorded trace (a list of event dicts, see
+:mod:`.trace`) and assert the *ordering* half of the paper's correctness
+argument — the part the per-call :class:`~repro.analysis.protocol.
+ProtocolMonitor` cannot see because it records no timeline:
+
+``capture-after-quiesce`` (Principle 4)
+    Every ``ckpt.capture`` begin is preceded — within its enclosing
+    ``ckpt`` span, on the same process — by a ``drain.quiesce`` event:
+    the global drain protocol declared every completion queue quiet
+    before a single memory byte was captured.
+
+``refill-before-real`` (Principle 5)
+    Whenever a ``poll_cq`` serves completions from the real CQ, the
+    private (drained) queue observed at entry has been fully served
+    first; the application never sees a fresh completion before a
+    drained one.
+
+``replay-balance`` (Principles 3/6)
+    A restart replay re-posts exactly the surviving WQE-log entries:
+    the ``replay`` span's actual re-post count equals the log sizes
+    snapshotted when the replay began.
+
+``writer-quiesce``
+    A background (forked) image write-back never overlaps the next
+    image write of the same process in the same job generation — the
+    writer must be joined first, or torn region bytes could interleave.
+
+Traces may span several :class:`~repro.sim.Environment` instances (one
+per scenario, or per chaos generation in tests that build fresh
+environments): the simulated clock then restarts from zero.  Checks are
+applied per *segment* — a maximal run of events whose sim timestamps
+are non-decreasing — so cross-environment history never false-positives.
+
+When the tracer's ring overflowed (``dropped > 0``), the history-
+dependent checks (``capture-after-quiesce``, ``writer-quiesce``) are
+skipped; the self-contained per-record checks still run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TraceInvariantViolation",
+    "split_segments",
+    "check_trace_invariants",
+    "assert_trace_invariants",
+]
+
+_T_EPS = 1e-12
+
+
+class TraceInvariantViolation(AssertionError):
+    """A recorded trace breaks a protocol-ordering invariant."""
+
+    def __init__(self, violations: List[str]):
+        super().__init__(
+            f"{len(violations)} trace invariant violation(s):\n  "
+            + "\n  ".join(violations))
+        self.violations = violations
+
+
+def split_segments(
+        events: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+    """Split a trace where the sim clock jumps backwards (a fresh
+    :class:`~repro.sim.Environment` started)."""
+    segments: List[List[Dict[str, Any]]] = []
+    current: List[Dict[str, Any]] = []
+    prev_t: Optional[float] = None
+    for event in events:
+        t = event.get("t", 0.0)
+        if prev_t is not None and t < prev_t - _T_EPS:
+            segments.append(current)
+            current = []
+        current.append(event)
+        prev_t = t
+    if current:
+        segments.append(current)
+    return segments
+
+
+def _check_capture_after_quiesce(segment, violations) -> None:
+    # per proc: the seq of the innermost open ckpt B, and whether a
+    # drain.quiesce has been seen since it
+    open_ckpt: Dict[str, int] = {}
+    quiesced: Dict[str, bool] = {}
+    for event in segment:
+        kind, ev, proc = event["kind"], event["ev"], event["proc"]
+        if kind == "ckpt" and ev == "B":
+            open_ckpt[proc] = event.get("seq", -1)
+            quiesced[proc] = False
+        elif kind == "drain.quiesce":
+            quiesced[proc] = True
+        elif kind == "ckpt.capture" and ev == "B":
+            if not quiesced.get(proc, False):
+                violations.append(
+                    f"[capture-after-quiesce] {proc} began a capture at "
+                    f"t={event.get('t', 0.0):.6f} without a preceding "
+                    "drain.quiesce inside its ckpt span (Principle 4)")
+        elif kind == "ckpt" and ev == "E":
+            open_ckpt.pop(proc, None)
+            quiesced.pop(proc, None)
+
+
+def _check_refill_before_real(segment, violations) -> None:
+    for event in segment:
+        if event["kind"] != "refill.poll":
+            continue
+        private_before = event.get("private_before", 0)
+        served_private = event.get("served_private", 0)
+        served_real = event.get("served_real", 0)
+        if served_real > 0 and served_private < private_before:
+            violations.append(
+                f"[refill-before-real] {event['proc']} served "
+                f"{served_real} real completion(s) at "
+                f"t={event.get('t', 0.0):.6f} while {private_before - served_private} "
+                "drained completion(s) still sat in the private queue "
+                "(Principle 5)")
+
+
+def _check_replay_balance(segment, violations) -> None:
+    for event in segment:
+        if event["kind"] != "replay" or event["ev"] != "E":
+            continue
+        expected = event.get("expected")
+        reposts = event.get("reposts")
+        if expected is None or reposts is None:
+            continue
+        if reposts != expected:
+            violations.append(
+                f"[replay-balance] {event['proc']} replay re-posted "
+                f"{reposts} WQE(s) but the surviving logs held "
+                f"{expected} (Principles 3/6)")
+
+
+def _check_writer_quiesce(segment, violations) -> None:
+    # (proc, gen) → epoch of the live background writer
+    bg_live: Dict[tuple, Any] = {}
+    for event in segment:
+        kind, ev, proc = event["kind"], event["ev"], event["proc"]
+        gen = event.get("gen", 0)
+        if kind == "bg_write":
+            if ev == "B":
+                bg_live[(proc, gen)] = event.get("epoch")
+            elif ev == "E":
+                bg_live.pop((proc, gen), None)
+        elif kind == "ckpt.write" and ev == "B":
+            if (proc, gen) in bg_live:
+                violations.append(
+                    f"[writer-quiesce] {proc} began its epoch-"
+                    f"{event.get('epoch')} image write at "
+                    f"t={event.get('t', 0.0):.6f} while the epoch-"
+                    f"{bg_live[(proc, gen)]} background writer was "
+                    "still live")
+
+
+def check_trace_invariants(events: List[Dict[str, Any]],
+                           dropped: int = 0) -> List[str]:
+    """Return every invariant violation found in ``events`` (empty list
+    when the trace is clean).  ``dropped`` is the tracer's ring-eviction
+    count: non-zero disables the history-dependent checks."""
+    violations: List[str] = []
+    for segment in split_segments(events):
+        if dropped == 0:
+            _check_capture_after_quiesce(segment, violations)
+            _check_writer_quiesce(segment, violations)
+        _check_refill_before_real(segment, violations)
+        _check_replay_balance(segment, violations)
+    return violations
+
+
+def assert_trace_invariants(events: List[Dict[str, Any]],
+                            dropped: int = 0) -> None:
+    """Raise :class:`TraceInvariantViolation` if any check fails."""
+    violations = check_trace_invariants(events, dropped=dropped)
+    if violations:
+        raise TraceInvariantViolation(violations)

@@ -1,0 +1,194 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately tiny — a Prometheus-flavoured vocabulary
+over plain Python objects, sized for the simulation's needs:
+
+* :class:`Counter` / :class:`Gauge` — single numbers, single-threaded
+  writers (the sim kernel runs one event at a time).
+* :class:`Histogram` — fixed upper-bound buckets with a lock-free
+  observation path: ``observe`` appends to a :class:`~collections.deque`
+  (atomic under CPython), and observations are folded into buckets only
+  when a *reader* asks.  That makes ``observe`` safe to call from the
+  vetted checkpoint-capture thread pool (``dmtcp/image.py``) without
+  importing ``threading`` here, and guarantees that — once the writers
+  are quiescent — the bucket counts sum exactly to the observation
+  count, which the property suite asserts under concurrent workers.
+
+Everything is observable via :meth:`MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+#: default histogram buckets for span durations (simulated seconds):
+#: half-decade steps from 10 µs to 100 s, +inf overflow
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, math.inf,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with a lock-free observation path.
+
+    ``buckets`` are inclusive upper bounds, strictly increasing; a final
+    ``+inf`` bound is appended when missing.  Observations park in a
+    deque and are folded into bucket counts by the first *read*
+    (``counts`` / ``count`` / ``total`` / ``snapshot``), which must run
+    while no writer is active — true for every reader in this repo (the
+    sim thread after a run, or a test after joining the capture pool).
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_pending", "_count",
+                 "_total")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS):
+        bounds = list(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if bounds[-1] != math.inf:
+            bounds.append(math.inf)
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * len(bounds)
+        self._pending: deque = deque()
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation.  Safe from capture-pool workers."""
+        self._pending.append(value)
+
+    def _fold(self) -> None:
+        bounds = self.buckets
+        while True:
+            try:
+                value = self._pending.popleft()
+            except IndexError:
+                return
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+            self._count += 1
+            self._total += value
+
+    @property
+    def count(self) -> int:
+        self._fold()
+        return self._count
+
+    @property
+    def total(self) -> float:
+        self._fold()
+        return self._total
+
+    def counts(self) -> List[int]:
+        """Per-bucket observation counts (folds pending observations)."""
+        self._fold()
+        return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q`` quantile."""
+        self._fold()
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0
+        for bound, n in zip(self.buckets, self._counts):
+            seen += n
+            if seen >= rank:
+                return bound
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None
+                else DEFAULT_SECONDS_BUCKETS)
+        return metric
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-data view of every instrument (folds histograms)."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {"buckets": list(h.buckets), "counts": h.counts(),
+                    "count": h.count, "total": h.total}
+                for n, h in sorted(self._histograms.items())},
+        }

@@ -1,0 +1,169 @@
+"""Per-phase checkpoint-time decomposition from a live trace.
+
+Mirrors the layout of the paper's Table 2 (runtime breakdown of a
+checkpoint): for every completed ``ckpt`` span in a trace, the blocking
+time is decomposed into
+
+* ``quiesce``  — thread suspension + the global "suspended" barrier,
+* ``drain``    — CQ drain rounds + settle waits + the coordinator's
+  global drain verdict rounds (Principle 4),
+* ``capture``  — memory snapshot + incremental hash scan,
+* ``compress`` — the gzip pipeline stall folded into the write stream
+  (derived from the write span's stall factor: a stalled write spends
+  ``1 - 1/stall`` of its time waiting on the compressor),
+* ``write``    — the blocking image write net of the compression stall,
+* ``refill``   — post-restart private-queue serving (Principle 5; sim
+  time ≈ 0, reported by completion count),
+* ``replay``   — restart WQE re-posting (Principles 3/6).
+
+The residual (barriers, coordinator messaging) is reported as ``other``
+so the rows always sum to the total; ``coverage`` is the named phases'
+share of total checkpoint time — the acceptance gate requires ≥ 0.95 on
+a traced LU run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["decompose", "render", "trace_scenario"]
+
+_PHASES = ("quiesce", "drain", "capture", "compress", "write",
+           "refill", "replay")
+
+
+class _CompletedCkpts:
+    """Emission-index intervals of the completed ``ckpt`` spans, per
+    process.  A checkpoint killed mid-flight (fault injection) leaves
+    orphaned phase spans; only phase spans nested inside a *completed*
+    checkpoint count toward completed-checkpoint time."""
+
+    def __init__(self, events: List[Dict[str, Any]]):
+        self._begins = {e["span"]: e for e in events
+                        if e["ev"] == "B" and "span" in e}
+        self._intervals: Dict[str, List[tuple]] = {}
+        for event in events:
+            if event["kind"] == "ckpt" and event["ev"] == "E":
+                b = self._begins.get(event.get("span"))
+                if b is not None:
+                    self._intervals.setdefault(event["proc"], []).append(
+                        (b["seq"], event["seq"]))
+
+    def contains(self, end_event: Dict[str, Any]) -> bool:
+        b = self._begins.get(end_event.get("span"))
+        if b is None:
+            return False
+        for lo, hi in self._intervals.get(end_event["proc"], ()):
+            if lo <= b["seq"] and end_event["seq"] <= hi:
+                return True
+        return False
+
+
+def _span_totals(events: List[Dict[str, Any]], kind: str,
+                 within: Optional[_CompletedCkpts] = None):
+    """(total sim seconds, count) over a kind's completed spans,
+    optionally restricted to spans nested in a completed checkpoint."""
+    total = 0.0
+    count = 0
+    for event in events:
+        if event["kind"] != kind or event["ev"] != "E":
+            continue
+        if within is not None and not within.contains(event):
+            continue
+        total += event.get("dur", 0.0)
+        count += 1
+    return total, count
+
+
+def decompose(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace into the per-phase decomposition dict."""
+    within = _CompletedCkpts(events)
+    total, n_ckpts = _span_totals(events, "ckpt")
+    quiesce, _ = _span_totals(events, "ckpt.quiesce", within)
+    drain, drain_rounds = _span_totals(events, "ckpt.drain", within)
+    capture, _ = _span_totals(events, "ckpt.capture", within)
+    write_gross, n_writes = _span_totals(events, "ckpt.write", within)
+    replay, n_replays = _span_totals(events, "replay")
+
+    # gzip piped through the writer stalls the stream by the stall
+    # factor; the compressor's share of a stalled write is 1 - 1/stall
+    compress = 0.0
+    for event in events:
+        if event["kind"] == "ckpt.write" and event["ev"] == "E" \
+                and within.contains(event):
+            stall = event.get("stall", 1.0)
+            if stall > 1.0:
+                compress += event.get("dur", 0.0) * (1.0 - 1.0 / stall)
+    write = write_gross - compress
+
+    refill_events = [e for e in events if e["kind"] == "refill.poll"]
+    refill_served = sum(e.get("served_private", 0) for e in refill_events)
+    reposts = sum(e.get("reposts", 0) for e in events
+                  if e["kind"] == "replay" and e["ev"] == "E")
+    drained = sum(e.get("drained", 0) for e in events
+                  if e["kind"] == "drain.round")
+
+    rows = [
+        {"phase": "quiesce", "seconds": quiesce, "count": n_ckpts},
+        {"phase": "drain", "seconds": drain, "count": drain_rounds,
+         "note": f"{drained} completion(s) drained"},
+        {"phase": "capture", "seconds": capture, "count": n_ckpts},
+        {"phase": "compress", "seconds": compress, "count": n_writes},
+        {"phase": "write", "seconds": write, "count": n_writes},
+        {"phase": "refill", "seconds": 0.0, "count": len(refill_events),
+         "note": f"{refill_served} drained completion(s) served"},
+        {"phase": "replay", "seconds": replay, "count": n_replays,
+         "note": f"{reposts} WQE(s) re-posted"},
+    ]
+    named = sum(row["seconds"] for row in rows)
+    other = max(0.0, total - named)
+    rows.append({"phase": "other", "seconds": other, "count": n_ckpts,
+                 "note": "barriers + coordinator messaging"})
+    for row in rows:
+        row["share"] = row["seconds"] / total if total > 0 else 0.0
+    return {
+        "total_seconds": total,
+        "n_checkpoints": n_ckpts,
+        "coverage": named / total if total > 0 else 1.0,
+        "phases": rows,
+    }
+
+
+def render(decomp: Dict[str, Any]) -> str:
+    """Format a decomposition as the Table 2-style text table."""
+    lines = [
+        f"checkpoint-time decomposition over "
+        f"{decomp['n_checkpoints']} per-process checkpoint span(s), "
+        f"total {decomp['total_seconds']:.4f}s (sim)",
+        f"{'phase':>10} {'seconds':>10} {'share':>7} {'count':>6}  notes",
+    ]
+    for row in decomp["phases"]:
+        lines.append(
+            f"{row['phase']:>10} {row['seconds']:>10.4f} "
+            f"{row['share']:>6.1%} {row['count']:>6}  "
+            f"{row.get('note', '')}".rstrip())
+    lines.append(f"# named-phase coverage {decomp['coverage']:.1%} of "
+                 "total checkpoint time")
+    return "\n".join(lines)
+
+
+def trace_scenario(app: str = "lu", seed: int = 2014,
+                   iters_sim: int = 24, nprocs: int = 4,
+                   ckpt_interval: float = 1.0, crash_at: Optional[float]
+                   = None, sink: Optional[str] = None):
+    """Run a NAS chaos scenario under a fresh tracer; returns
+    ``(tracer, outcome)``.  ``crash_at`` injects one fatal node crash so
+    the trace exercises the restart path (refill + replay)."""
+    from ..faults.harness import run_chaos_nas
+    from ..faults.schedule import FailureEvent, FixedSchedule
+    from .trace import traced
+
+    klass = "B" if app == "ft" else "A"   # NAS defines no FT class A
+    failures = [] if crash_at is None else [
+        FailureEvent(t=crash_at, kind="node-crash", node_index=1)]
+    with traced(sink=sink) as tracer:
+        outcome = run_chaos_nas(
+            app=app, klass=klass, nprocs=nprocs, iters_sim=iters_sim,
+            seed=seed, ckpt_interval=ckpt_interval,
+            schedule=FixedSchedule(failures), backoff_base=0.25)
+    return tracer, outcome

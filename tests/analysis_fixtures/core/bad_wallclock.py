@@ -1,0 +1,12 @@
+"""Fixture: wall-clock settle timing in the plugin path (wallclock).
+
+The drain loop's settle window must be simulated time (a sim timeout),
+never a host-clock deadline — a wall deadline would make two same-seed
+runs drain different completion sets.
+"""
+
+import time
+
+
+def settle_deadline(window: float) -> float:
+    return time.perf_counter() + window

@@ -1,0 +1,7 @@
+"""Fixture: acknowledged wall-clock read in the plugin path."""
+
+import time
+
+
+def settle_deadline(window: float) -> float:
+    return time.perf_counter() + window  # repro: allow(wallclock)

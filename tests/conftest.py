@@ -28,6 +28,27 @@ def protocol_monitor():
         uninstall_monitor(prev)
 
 
+@pytest.fixture(autouse=True)
+def trace_invariants(request):
+    """Every test also runs under a fresh lifecycle Tracer
+    (``repro.obs``): at teardown the recorded checkpoint-lifecycle
+    trace is checked against the ordering invariants (capture-after-
+    quiesce, refill-before-real, replay-balance, writer-quiesce) and
+    any violation fails the test.  Opt out with
+    ``@pytest.mark.no_trace_invariants`` (e.g. for tests that record
+    deliberately broken traces or drive the tracer hooks directly)."""
+    if request.node.get_closest_marker("no_trace_invariants"):
+        yield None
+        return
+    from obs_asserts import TraceAssertions
+    harness = TraceAssertions().install()
+    try:
+        yield harness
+    finally:
+        harness.uninstall()
+        harness.assert_clean()
+
+
 @dataclass
 class Endpoint:
     """One process with an opened verbs stack (context/pd/cq ready)."""

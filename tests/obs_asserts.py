@@ -1,0 +1,120 @@
+"""TraceAssertions: the trace-invariant harness for tests.
+
+Wraps a :class:`repro.obs.Tracer` installed class-wide (coordinator,
+plugin, dmtcp process, recovery manager, injector) plus the ordering
+invariants of :mod:`repro.obs.invariants`, with convenience accessors
+for asserting on the recorded lifecycle directly.  The autouse
+``trace_invariants`` fixture in ``conftest.py`` runs every test under
+one of these and asserts a clean trace at teardown; tests that need the
+raw harness (ordering assertions, golden traces) take the fixture as an
+argument.
+"""
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs import (
+    Tracer,
+    check_trace_invariants,
+    install_tracer,
+    split_segments,
+    uninstall_tracer,
+)
+from repro.obs.invariants import TraceInvariantViolation
+
+__all__ = ["TraceAssertions", "assert_ordering_in", "events_of_kind"]
+
+
+def events_of_kind(events: List[Dict[str, Any]], kind: str,
+                   ev: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Events of one kind, optionally filtered to B/E/P records."""
+    return [e for e in events
+            if e["kind"] == kind and (ev is None or e["ev"] == ev)]
+
+
+def assert_ordering_in(events: List[Dict[str, Any]], proc: str,
+                       kinds: List[str]) -> None:
+    """Assert ``kinds`` (B/P records) appear for ``proc`` in order —
+    each kind's first occurrence after the previous match."""
+    pos = 0
+    matched: List[float] = []
+    for want in kinds:
+        found = False
+        while pos < len(events):
+            event = events[pos]
+            pos += 1
+            if event["proc"] == proc and event["kind"] == want \
+                    and event["ev"] in ("B", "P"):
+                matched.append(event.get("t", 0.0))
+                found = True
+                break
+        if not found:
+            raise AssertionError(
+                f"trace ordering: no '{want}' for {proc} after "
+                f"{kinds[:len(matched)]} (matched at t={matched})")
+
+
+class TraceAssertions:
+    """A class-wide tracer plus invariant checks, as one object."""
+
+    def __init__(self, capacity: int = 1 << 16):
+        self.tracer = Tracer(capacity=capacity)
+        self._prev: Optional[tuple] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def install(self) -> "TraceAssertions":
+        self._prev = install_tracer(self.tracer)
+        return self
+
+    def uninstall(self) -> None:
+        if self._prev is not None:
+            uninstall_tracer(self._prev)
+            self._prev = None
+
+    def __enter__(self) -> "TraceAssertions":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        return self.tracer.events
+
+    @property
+    def dropped(self) -> int:
+        return self.tracer.dropped
+
+    def of_kind(self, kind: str, ev: Optional[str] = None
+                ) -> List[Dict[str, Any]]:
+        """Events of one kind, optionally filtered to B/E/P records."""
+        return [e for e in self.tracer.events
+                if e["kind"] == kind and (ev is None or e["ev"] == ev)]
+
+    def kinds(self) -> List[str]:
+        """The distinct event kinds recorded, in first-seen order."""
+        seen: List[str] = []
+        for event in self.tracer.events:
+            if event["kind"] not in seen:
+                seen.append(event["kind"])
+        return seen
+
+    def segments(self) -> List[List[Dict[str, Any]]]:
+        return split_segments(self.tracer.events)
+
+    # -- assertions -----------------------------------------------------------
+
+    def violations(self) -> List[str]:
+        return check_trace_invariants(self.tracer.events,
+                                      dropped=self.tracer.dropped)
+
+    def assert_clean(self) -> None:
+        violations = self.violations()
+        if violations:
+            raise TraceInvariantViolation(violations)
+
+    def assert_ordering(self, proc: str, kinds: List[str]) -> None:
+        """Assert ``kinds`` (B/P records) appear for ``proc`` in order."""
+        assert_ordering_in(self.tracer.events, proc, kinds)

@@ -56,6 +56,33 @@ def test_every_lint_rule_has_a_fixture():
     assert set(LINT_CASES) == set(LINT_RULES)
 
 
+# -- wallclock over the core/ prefix (the ib_plugin drain/settle path) --------
+
+
+def test_wallclock_fires_in_core_prefix():
+    """core/ is a deterministic prefix: a host-clock settle deadline in
+    the plugin path is flagged like one in sim/."""
+    findings = _lint("core/bad_wallclock.py")
+    hits = [f for f in findings
+            if f.rule == "wallclock" and not f.suppressed]
+    assert hits, "wallclock did not fire on core/bad_wallclock.py"
+
+
+def test_wallclock_suppression_in_core_prefix():
+    findings = _lint("core/ok_wallclock.py")
+    assert findings and all(f.suppressed for f in findings)
+
+
+def test_settle_path_has_no_wallclock_debt():
+    """Regression: the drain/settle path reads only the sim clock — the
+    settle window is a sim timeout (traced as a ``drain.settle`` span),
+    and no wall-clock source hides anywhere in core/ or dmtcp/."""
+    findings = lint_paths([str(REPO / "src/repro/core"),
+                           str(REPO / "src/repro/dmtcp")])
+    assert [f for f in findings
+            if f.rule == "wallclock" and not f.suppressed] == []
+
+
 # -- concurrency pass ----------------------------------------------------------
 
 
