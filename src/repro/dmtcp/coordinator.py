@@ -52,6 +52,10 @@ class Coordinator:
         #: process may still be pushing epoch N's image when epoch N+1
         #: starts, so done-reports are matched to their epoch
         self._ckpt_epoch = 0
+        #: optional repro.store.CheckpointStore (set by dmtcp_launch /
+        #: dmtcp_restart): each completed epoch kicks off the store's
+        #: async tier replication
+        self.store = None
         self._all_connected = self.env.event()
         self._procs = [self.env.process(self._accept_loop(),
                                         name="coord.accept")]
@@ -176,6 +180,10 @@ class Coordinator:
         if self.tracer is not None:
             self.tracer.emit("coord.ckpt.done", "coord", self.env.now,
                              epoch=self._ckpt_epoch, procs=len(stats))
+        if self.store is not None:
+            # every image of this epoch landed on its local tier: start
+            # pushing partner/Lustre replicas while the job runs on
+            self.store.schedule_replication(self._ckpt_epoch)
         return stats
 
 

@@ -160,17 +160,21 @@ def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
                  coord_node_index: int = 0,
                  tracker: Optional[JobTracker] = None,
                  incremental: bool = False,
-                 ckpt_workers: int = 0) -> Generator:
+                 ckpt_workers: int = 0, store=None) -> Generator:
     """Process generator: start a coordinator and all processes under it.
 
     Every process's library table is populated (ibverbs when the node has
     an HCA) and then handed to freshly constructed plugins to interpose on.
+    ``store`` (a :class:`repro.store.CheckpointStore`) switches checkpoint
+    writes to content-addressed chunks with coordinator-driven tier
+    replication.
     """
     from ..ibverbs import VerbsLib  # local import to avoid cycles
 
     env = cluster.env
     coordinator = Coordinator(cluster.nodes[coord_node_index],
                               expected_clients=len(specs))
+    coordinator.store = store
     if tracker is not None:
         tracker.coordinator = coordinator
     procs: List[DmtcpProcess] = []
@@ -186,7 +190,7 @@ def dmtcp_launch(cluster: Cluster, specs: Sequence[AppSpec],
                             disk_kind=disk_kind,
                             node_index=spec.node_index,
                             incremental=incremental,
-                            ckpt_workers=ckpt_workers)
+                            ckpt_workers=ckpt_workers, store=store)
         procs.append(proc)
         launch_events.append(env.process(
             proc.launch(coordinator.node.name, coordinator.port,
@@ -206,17 +210,26 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                   stage_images: bool = True,
                   tracker: Optional[JobTracker] = None,
                   incremental: bool = False,
-                  ckpt_workers: int = 0) -> Generator:
+                  ckpt_workers: int = 0, store=None) -> Generator:
     """Process generator: restart a CheckpointSet on ``cluster`` (the same
     one or a different one — different LIDs, different qp_nums, possibly a
-    different kernel or no InfiniBand at all)."""
+    different kernel or no InfiniBand at all).
+
+    With a ``store``, images are fetched chunk-by-chunk from the cheapest
+    live tier (digest-verified) instead of read as monolithic files;
+    ``stage_images`` then stages through the store, fully replicated.
+    """
     from ..ibverbs import VerbsLib
 
     env = cluster.env
     if stage_images:
-        ckpt_set.stage_to(cluster, disk_kind, node_map)
+        if store is not None:
+            store.stage_from(ckpt_set, node_map)
+        else:
+            ckpt_set.stage_to(cluster, disk_kind, node_map)
     coordinator = Coordinator(cluster.nodes[coord_node_index],
                               expected_clients=len(ckpt_set.records))
+    coordinator.store = store
     if tracker is not None:
         tracker.coordinator = coordinator
     procs_by_name: Dict[str, DmtcpProcess] = {}
@@ -228,15 +241,21 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
         host = node.fork(record.name)
         host.libs["ibverbs"] = VerbsLib(host)
 
-        def flow(record=record, host=host, node=node):
-            disk = node.disk(disk_kind)
-            data = yield from disk.read(record.path)
-            image = CheckpointImage.from_bytes(data)
+        def flow(record=record, host=host, node=node,
+                 dst_index=dst_index):
+            if store is not None:
+                image = yield from store.fetch_image(
+                    record.name, epoch=record.epoch or None,
+                    via_node_index=dst_index)
+            else:
+                disk = node.disk(disk_kind)
+                data = yield from disk.read(record.path)
+                image = CheckpointImage.from_bytes(data)
             proc = DmtcpProcess.restart(
                 host, record, image, costs,
                 coordinator.node.name, coordinator.port,
                 disk_kind=disk_kind, incremental=incremental,
-                ckpt_workers=ckpt_workers)
+                ckpt_workers=ckpt_workers, store=store)
             procs_by_name[record.name] = proc
             yield from proc.restart_flow(coordinator.node.name,
                                          coordinator.port)

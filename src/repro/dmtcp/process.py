@@ -99,6 +99,9 @@ class CheckpointRecord:
     image: CheckpointImage
     continuation: Continuation
     ckpt_seconds: float = 0.0
+    #: absolute store epoch when the image landed in a CheckpointStore
+    #: (0 = monolithic file write, the non-store path)
+    epoch: int = 0
 
 
 class DmtcpProcess:
@@ -120,7 +123,8 @@ class DmtcpProcess:
                  plugins: List[Plugin], costs: CostModel = DEFAULT_COSTS,
                  gzip: bool = True, ckpt_dir: str = "/tmp",
                  disk_kind: str = "local", node_index: int = 0,
-                 incremental: bool = False, ckpt_workers: int = 0):
+                 incremental: bool = False, ckpt_workers: int = 0,
+                 store=None):
         self.host = host
         self.env = host.env
         self.name = name
@@ -136,6 +140,10 @@ class DmtcpProcess:
         self.incremental = incremental
         #: worker threads for dirty-region compression (0 = serial)
         self.ckpt_workers = ckpt_workers
+        #: optional repro.store.CheckpointStore: images land as
+        #: content-addressed chunks on the local tier (async replication
+        #: is the coordinator's job) instead of one monolithic file
+        self.store = store
         self.appctx = AppContext(host, name, rank, world)
         self.user_threads: List[Process] = []
         self.client: Optional[CoordinatorClient] = None
@@ -274,19 +282,6 @@ class DmtcpProcess:
                        regions_dirty=cstats.get("regions_dirty", 0),
                        regions_clean=cstats.get("regions_clean_gen", 0)
                        + cstats.get("regions_clean_hash", 0))
-        disk = self.host.node.disk(self.disk_kind)
-        path = f"{self.ckpt_dir}/ckpt_{self.name}.dmtcp"
-        data = image.to_bytes()
-        # dynamic gzip pipes through the writer: the pipeline stalls the
-        # write stream by bw_disk/bw_gzip (Table 5's ~4% gzip cost);
-        # parallel compressor workers divide the stall.  An incremental
-        # image only pushes the dirty regions' compressed bytes.
-        logical = image.delta_logical_size if prev is not None \
-            else image.logical_size
-        if self.gzip:
-            logical *= self.costs.gzip_stall_factor(self.ckpt_workers)
-        sync_logical, bg_logical = \
-            self.costs.overlapped_write_split(logical)
         # one outstanding forked child: a still-running previous
         # write-back must land before this image overwrites its path
         if self._bg_write is not None and self._bg_write.is_alive:
@@ -297,23 +292,64 @@ class DmtcpProcess:
             self.monitor.on_image_write(self.name, epoch)
         stall = self.costs.gzip_stall_factor(self.ckpt_workers) \
             if self.gzip else 1.0
-        write_span = None if tracer is None else tracer.begin(
-            "ckpt.write", self.name, self.env.now, epoch=epoch, gen=gen)
-        yield from disk.write(path, data, logical_size=sync_logical)
-        if bg_logical > 0.0 and intent == "resume":
-            # forked write-back: the child pushes the remainder while the
-            # application resumes (Cao et al.'s overlapped checkpointing)
-            if self.monitor is not None:
-                self.monitor.on_bg_write_start(self.name, epoch)
-            self._bg_write = self.host.spawn_thread(
-                self._bg_write_flow(disk, path, data, bg_logical, epoch),
-                name=f"{self.name}.ckptfork")
-        elif bg_logical > 0.0:
-            # frozen processes have nothing to overlap with: write it all
-            yield from disk.write(path, data, logical_size=bg_logical)
-        if tracer is not None:
-            tracer.end(write_span, self.env.now, stall=stall,
-                       sync_logical=sync_logical, bg_logical=bg_logical)
+        abs_epoch = epoch
+        put = None
+        if self.store is not None:
+            # content-addressed landing: dedup stands in for the clean
+            # regions' writes, and the partner/Lustre copies are the
+            # coordinator-driven async replication — nothing to fork here
+            bg_logical = 0.0
+            write_span = None if tracer is None else tracer.begin(
+                "ckpt.write", self.name, self.env.now, epoch=epoch,
+                gen=gen, store=True)
+            put = yield from self.store.put_image(
+                rank=self.rank, node_index=self.node_index, epoch=epoch,
+                image=image, stall=stall)
+            path = put.manifest_path
+            abs_epoch = put.epoch
+            real_bytes = put.bytes_real
+            if tracer is not None:
+                tracer.end(write_span, self.env.now, stall=stall,
+                           sync_logical=put.bytes_written,
+                           bg_logical=0.0, store=True,
+                           chunks_new=put.chunks_new,
+                           chunks_deduped=put.chunks_deduped)
+        else:
+            disk = self.host.node.disk(self.disk_kind)
+            path = f"{self.ckpt_dir}/ckpt_{self.name}.dmtcp"
+            data = image.to_bytes()
+            real_bytes = float(len(data))
+            # dynamic gzip pipes through the writer: the pipeline stalls
+            # the write stream by bw_disk/bw_gzip (Table 5's ~4% gzip
+            # cost); parallel compressor workers divide the stall.  An
+            # incremental image only pushes the dirty regions' bytes.
+            logical = image.delta_logical_size if prev is not None \
+                else image.logical_size
+            if self.gzip:
+                logical *= stall
+            sync_logical, bg_logical = \
+                self.costs.overlapped_write_split(logical)
+            write_span = None if tracer is None else tracer.begin(
+                "ckpt.write", self.name, self.env.now, epoch=epoch,
+                gen=gen)
+            yield from disk.write(path, data, logical_size=sync_logical)
+            if bg_logical > 0.0 and intent == "resume":
+                # forked write-back: the child pushes the remainder while
+                # the application resumes (Cao et al.'s overlapped
+                # checkpointing)
+                if self.monitor is not None:
+                    self.monitor.on_bg_write_start(self.name, epoch)
+                self._bg_write = self.host.spawn_thread(
+                    self._bg_write_flow(disk, path, data, bg_logical,
+                                        epoch),
+                    name=f"{self.name}.ckptfork")
+            elif bg_logical > 0.0:
+                # frozen processes have nothing to overlap with: write it
+                yield from disk.write(path, data, logical_size=bg_logical)
+            if tracer is not None:
+                tracer.end(write_span, self.env.now, stall=stall,
+                           sync_logical=sync_logical,
+                           bg_logical=bg_logical)
         yield from self.client.barrier("written")
 
         ckpt_seconds = self.env.now - t0
@@ -327,21 +363,26 @@ class DmtcpProcess:
                 name=self.name, rank=self.rank, appctx=self.appctx,
                 user_threads=list(self.user_threads), plugins=self.plugins,
                 memory=self.host.memory),
-            ckpt_seconds=ckpt_seconds)
+            ckpt_seconds=ckpt_seconds,
+            epoch=abs_epoch if put is not None else 0)
         cstats = image.capture_stats
-        yield from self.client.ckpt_done(
-            {"name": self.name, "node": self.host.node.name,
-             "epoch": epoch,
-             "ckpt_seconds": ckpt_seconds,
-             "image_logical_bytes": image.logical_size,
-             "image_real_bytes": float(len(data)),
-             "mode": cstats.get("mode", "full"),
-             "regions_dirty": cstats.get("regions_dirty", 0),
-             "regions_clean": cstats.get("regions_clean_gen", 0)
-             + cstats.get("regions_clean_hash", 0),
-             "delta_logical_bytes": image.delta_logical_size,
-             "overlapped_logical_bytes": bg_logical
-             if intent == "resume" else 0.0})
+        stats = {"name": self.name, "node": self.host.node.name,
+                 "epoch": epoch,
+                 "ckpt_seconds": ckpt_seconds,
+                 "image_logical_bytes": image.logical_size,
+                 "image_real_bytes": real_bytes,
+                 "mode": cstats.get("mode", "full"),
+                 "regions_dirty": cstats.get("regions_dirty", 0),
+                 "regions_clean": cstats.get("regions_clean_gen", 0)
+                 + cstats.get("regions_clean_hash", 0),
+                 "delta_logical_bytes": image.delta_logical_size,
+                 "overlapped_logical_bytes": bg_logical
+                 if intent == "resume" else 0.0}
+        if put is not None:
+            stats["store_chunks_new"] = put.chunks_new
+            stats["store_chunks_deduped"] = put.chunks_deduped
+            stats["store_bytes_written"] = put.bytes_written
+        yield from self.client.ckpt_done(stats)
 
         # 4. resume, or stay frozen for the restart flow
         if intent == "resume":
@@ -384,7 +425,7 @@ class DmtcpProcess:
                 image: CheckpointImage, costs: CostModel,
                 coord_host: str, coord_port: int,
                 disk_kind: str = "local", incremental: bool = False,
-                ckpt_workers: int = 0) -> "DmtcpProcess":
+                ckpt_workers: int = 0, store=None) -> "DmtcpProcess":
         """Build the restarted process object (dmtcp_restart runs
         :meth:`restart_flow` on it afterwards)."""
         cont = record.continuation
@@ -392,7 +433,7 @@ class DmtcpProcess:
                    world=cont.appctx.world, plugins=cont.plugins,
                    costs=costs, gzip=image.gzip, disk_kind=disk_kind,
                    node_index=record.node_index, incremental=incremental,
-                   ckpt_workers=ckpt_workers)
+                   ckpt_workers=ckpt_workers, store=store)
         # the restored process lives at the original virtual addresses:
         # adopt the old address space and overwrite it with image bytes
         image.restore_memory(cont.memory)

@@ -23,6 +23,10 @@ def main(argv=None) -> int:
                         help="cap Table 1/2 process counts (default 256)")
     parser.add_argument("--table", type=int, choices=sorted(_TABLES),
                         help="regenerate a single table")
+    parser.add_argument("--store", action="store_true",
+                        help="Table 4 only: route the Lustre checkpoint "
+                             "through the content-addressed multi-tier "
+                             "store (repro.store)")
     args = parser.parse_args(argv)
 
     t0 = time.time()
@@ -33,6 +37,8 @@ def main(argv=None) -> int:
                                           else args.max_procs))
         elif args.table in (3, 5):
             table = module.run(full=args.full)
+        elif args.table == 4:
+            table = module.run(store=args.store)
         else:
             table = module.run()
         print(table.format())

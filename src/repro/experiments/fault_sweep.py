@@ -66,30 +66,38 @@ class SweepResult:
     def predicted_interval(self, mtbf_node: float) -> float:
         return young_daly_interval(mtbf_node / self.n_nodes, self.ckpt_cost)
 
-    def young_daly_holds(self, mtbf_node: float) -> bool:
-        """Is the empirical minimum within one grid step of τ*?"""
-        rows = sorted({c.interval for c in self.cells
-                       if c.mtbf_node == mtbf_node})
-        best = self.best_interval(mtbf_node)
+    def young_daly_holds(self, mtbf_node: float,
+                         rel_tol: float = 0.01) -> bool:
+        """Is an empirical minimum within one grid step of τ*?  Intervals
+        whose mean completion ties the minimum (within ``rel_tol``) all
+        count as co-minimal: with few failures per run several intervals
+        are empirically indistinguishable, and a first-index tie-break
+        would make the verdict an accident of grid order."""
+        cells = [c for c in self.cells if c.mtbf_node == mtbf_node]
+        rows = sorted({c.interval for c in cells})
+        floor = min(c.completion for c in cells)
+        best_idx = {rows.index(c.interval) for c in cells
+                    if c.completion <= floor * (1.0 + rel_tol)}
         predicted = self.predicted_interval(mtbf_node)
         nearest = min(range(len(rows)),
                       key=lambda i: abs(rows[i] - predicted))
-        return abs(rows.index(best) - nearest) <= 1
+        return any(abs(i - nearest) <= 1 for i in best_idx)
 
 
 def measure_ckpt_cost(app: str = "lu", klass: str = "A", nprocs: int = 4,
                       ppn: int = 1, iters_sim: int = 0,
-                      seed: int = 2014, analysis: bool = False) -> tuple:
+                      seed: int = 2014, use_store: bool = False,
+                      analysis: bool = False) -> tuple:
     """(C, baseline): one checkpoint's wall cost and the failure-free
     completion time, from a calibration run with no fault injection."""
     out = run_chaos_nas(app=app, klass=klass, nprocs=nprocs, ppn=ppn,
                         iters_sim=iters_sim, ckpt_interval=0.3,
                         seed=seed, schedule=FixedSchedule([]),
-                        analysis=analysis)
+                        use_store=use_store, analysis=analysis)
     baseline = run_chaos_nas(app=app, klass=klass, nprocs=nprocs, ppn=ppn,
                              iters_sim=iters_sim, ckpt_interval=1e9,
                              seed=seed, schedule=FixedSchedule([]),
-                             analysis=analysis)
+                             use_store=use_store, analysis=analysis)
     return out.recovery.mean_ckpt_seconds, baseline.completion_seconds
 
 
@@ -98,10 +106,12 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
               ppn: int = 1, iters_sim: int = 0, base_seed: int = 2014,
               intervals: Optional[List[float]] = None,
               incremental: bool = False, ckpt_workers: int = 0,
+              use_store: bool = False,
               quiet: bool = False, analysis: bool = False) -> SweepResult:
     n_nodes = max(1, -(-nprocs // ppn))
     ckpt_cost, baseline = measure_ckpt_cost(app, klass, nprocs, ppn,
                                             iters_sim, seed=base_seed,
+                                            use_store=use_store,
                                             analysis=analysis)
     result = SweepResult(app=app, klass=klass, nprocs=nprocs,
                          n_nodes=n_nodes, ckpt_cost=ckpt_cost,
@@ -127,7 +137,8 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
                         seed=base_seed + 7919 * trial,
                         backoff_base=0.2, backoff_max=2.0,
                         max_attempts=50, incremental=incremental,
-                        ckpt_workers=ckpt_workers, analysis=analysis)
+                        ckpt_workers=ckpt_workers, use_store=use_store,
+                        analysis=analysis)
                     for trial in range(trials)]
             mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
             cell = SweepCell(
@@ -169,6 +180,11 @@ def main(argv=None) -> int:
                              "the previous image (DESIGN.md §8)")
     parser.add_argument("--ckpt-workers", type=int, default=0,
                         help="compressor threads per process (0 = serial)")
+    parser.add_argument("--store", action="store_true",
+                        help="land checkpoints in the content-addressed "
+                             "multi-tier store (repro.store): chunk dedup, "
+                             "partner/Lustre replication, digest-verified "
+                             "restart")
     parser.add_argument("--analysis", action="store_true",
                         help="run every chaos job under the strict "
                              "ProtocolMonitor (repro.analysis) and print "
@@ -188,7 +204,7 @@ def main(argv=None) -> int:
     result = run_sweep(mtbfs, trials=trials, iters_sim=iters,
                        base_seed=args.seed, incremental=args.incremental,
                        ckpt_workers=args.ckpt_workers,
-                       analysis=args.analysis)
+                       use_store=args.store, analysis=args.analysis)
 
     print("\n# restart-path verification under injected crash")
     verdict = verify_restart_path(seed=args.seed, analysis=args.analysis)

@@ -59,6 +59,7 @@ def run_nas(app: Callable, spec: HardwareSpec, nprocs: int,
             restart: bool = False, disk_kind: str = "local",
             gzip: bool = True, costs: CostModel = DEFAULT_COSTS,
             ib2tcp: bool = False, transport: str = "ib",
+            use_store: bool = False,
             seed_name: str = "") -> Outcome:
     """Run one NAS/MPI configuration end to end; returns an Outcome.
 
@@ -68,6 +69,11 @@ def run_nas(app: Callable, spec: HardwareSpec, nprocs: int,
     (launch + a margin) at which to take one checkpoint.
     ``restart``: checkpoint with intent=restart, tear the cluster down,
     restart on a fresh identical cluster, and keep timing there.
+    ``use_store`` (dmtcp only): land checkpoints in a content-addressed
+    multi-tier :class:`~repro.store.CheckpointStore` instead of
+    monolithic image files; the restart then fetches digest-verified
+    chunks from the cheapest live tier.  Store counters land in
+    ``outcome.extra["store"]``.
     """
     env = Environment()
     n_nodes = max(1, -(-nprocs // (ppn or spec.cores_per_node)))
@@ -101,9 +107,13 @@ def run_nas(app: Callable, spec: HardwareSpec, nprocs: int,
                                        fallback=Ib2TcpPlugin())])
             if ib2tcp else
             (lambda: [InfinibandPlugin(costs=costs)]))
+        store = None
+        if use_store:
+            from ..store import CheckpointStore
+            store = CheckpointStore(cluster)
         session = env.run(until=env.process(dmtcp_launch(
             cluster, specs, plugin_factory=plugin_factory, costs=costs,
-            gzip=gzip, disk_kind=disk_kind)))
+            gzip=gzip, disk_kind=disk_kind, store=store)))
 
         def dmtcp_scenario():
             if checkpoint_after is not None:
@@ -114,22 +124,39 @@ def run_nas(app: Callable, spec: HardwareSpec, nprocs: int,
                     outcome.ckpt_seconds = ckpt.wall_seconds
                     outcome.ckpt_image_mb = (ckpt.total_logical_bytes
                                              / len(ckpt.records) / MB)
+                    if store is not None:
+                        yield from store.drain_replication()
+                        outcome.extra["store"] = dict(store.stats)
+                        store.stop()
                     cluster.teardown()
                     cluster2 = Cluster(
                         env, spec, n_nodes=n_nodes,
                         name=f"{cluster.name}-restarted")
+                    store2 = None
+                    if use_store:
+                        from ..store import CheckpointStore
+                        store2 = CheckpointStore(cluster2)
                     t0 = env.now
                     session2 = yield from dmtcp_restart(
-                        cluster2, ckpt, costs=costs, disk_kind=disk_kind)
+                        cluster2, ckpt, costs=costs, disk_kind=disk_kind,
+                        store=store2)
                     outcome.restart_seconds = env.now - t0
+                    if store2 is not None:
+                        outcome.extra["store_restart"] = dict(store2.stats)
                     return (yield from session2.wait())
                 ckpt = yield from session.checkpoint(intent="resume")
                 outcome.ckpt_seconds = ckpt.wall_seconds
                 outcome.ckpt_image_mb = (ckpt.total_logical_bytes
                                          / len(ckpt.records) / MB)
+                if store is not None:
+                    yield from store.drain_replication()
+                    outcome.extra["store"] = dict(store.stats)
             return (yield from session.wait())
 
         results = env.run(until=env.process(dmtcp_scenario()))
+        if store is not None:
+            store.stop()
+            outcome.extra.setdefault("store", dict(store.stats))
     else:
         raise ValueError(f"unknown under={under!r}")
 

@@ -114,6 +114,7 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
                   backoff_factor: float = 2.0, backoff_max: float = 8.0,
                   disk_kind: str = "local", gzip: bool = True,
                   incremental: bool = False, ckpt_workers: int = 0,
+                  use_store: bool = False,
                   costs: CostModel = DEFAULT_COSTS,
                   analysis: bool = False,
                   trace: bool = False) -> ChaosOutcome:
@@ -122,6 +123,9 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
     ``schedule`` overrides the default per-node Poisson(``mtbf_node``)
     schedule of ``kind`` failures (pass ``FixedSchedule([])`` for a
     failure-free run, e.g. to measure the checkpoint cost C).
+    ``use_store`` lands checkpoints in a content-addressed multi-tier
+    :class:`~repro.store.CheckpointStore` (dedup + partner replication +
+    digest-verified restart) instead of monolithic image files.
     ``analysis`` runs the whole job under a strict
     :class:`~repro.analysis.ProtocolMonitor`; its summary lands in
     :attr:`ChaosOutcome.protocol`.  ``trace`` runs it under a fresh
@@ -152,8 +156,9 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
     config = RecoveryConfig(
         ckpt_interval=ckpt_interval, disk_kind=disk_kind, gzip=gzip,
         incremental=incremental, ckpt_workers=ckpt_workers,
-        max_attempts=max_attempts, backoff_base=backoff_base,
-        backoff_factor=backoff_factor, backoff_max=backoff_max)
+        use_store=use_store, max_attempts=max_attempts,
+        backoff_base=backoff_base, backoff_factor=backoff_factor,
+        backoff_max=backoff_max)
     manager = RecoveryManager(
         env, cluster_factory, specs_for, config, costs=costs,
         plugin_factory=lambda: [InfinibandPlugin(costs=costs)],

@@ -4,7 +4,10 @@ Fatal kinds (whole-node crash, HCA failure, fabric partition) break the
 job irrecoverably in place — processes die or wedge — and are what the
 RecoveryManager restarts from checkpoint.  Transient kinds (link
 degradation, straggler node) perturb performance for a bounded duration
-and heal on their own; the job limps through them.
+and heal on their own; the job limps through them.  Silent kinds
+(checkpoint-chunk corruption) damage data at rest without killing
+anything — they surface only when a restart's digest verification trips
+over the rotten bytes (``repro.store``'s corruption defence).
 """
 
 from __future__ import annotations
@@ -13,13 +16,16 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..hardware.cluster import Cluster
+from ..hardware.storage import StorageError
 from .schedule import FailureEvent
 
-__all__ = ["AppliedFailure", "FAILURE_KINDS", "FATAL_KINDS", "apply_failure"]
+__all__ = ["AppliedFailure", "FAILURE_KINDS", "FATAL_KINDS",
+           "SILENT_KINDS", "apply_failure"]
 
 FATAL_KINDS = frozenset({"node-crash", "hca-fail", "link-partition"})
 TRANSIENT_KINDS = frozenset({"link-degrade", "straggler"})
-FAILURE_KINDS = FATAL_KINDS | TRANSIENT_KINDS
+SILENT_KINDS = frozenset({"ckpt-corrupt"})
+FAILURE_KINDS = FATAL_KINDS | TRANSIENT_KINDS | SILENT_KINDS
 
 
 @dataclass
@@ -73,6 +79,38 @@ def apply_failure(cluster: Cluster, event: FailureEvent) -> AppliedFailure:
             f"{network.name}: degraded to {bw:.2g}x bw, {lat:.2g}x latency "
             f"for {duration:.3g}s", fatal=False,
             heal=network.heal, heal_after=duration)
+
+    if kind == "ckpt-corrupt":
+        # silent bit rot in the checkpoint store's chunk pool: flip the
+        # leading byte of one stored chunk on the victim node's tier.
+        # Nothing notices now — the digest check at the next fetch does.
+        from ..store.manifest import CHUNK_PREFIX  # no cycle: store is leaf
+        tier = str(event.params.get("tier", "local"))
+        if tier == "local":
+            fs = node.local_disk.fs
+        elif tier == "lustre":
+            if cluster.lustre_fs is None:
+                return AppliedFailure(
+                    f"{node.name}: no Lustre tier to corrupt", False)
+            fs = cluster.lustre_fs
+        else:
+            raise ValueError(f"unknown ckpt-corrupt tier {tier!r}")
+        chunks = fs.listdir(CHUNK_PREFIX)
+        if not chunks:
+            return AppliedFailure(
+                f"{fs.name}: no chunks to corrupt", False)
+        index = int(event.params.get("index", 0))
+        path = chunks[index % len(chunks)]
+        try:
+            blob = fs.load(path)
+            fs.store(path, bytes([blob[0] ^ 0xFF]) + blob[1:]
+                     if blob else b"\xff", fs.logical_size(path))
+        except StorageError:
+            return AppliedFailure(f"{fs.name}: chunk vanished mid-flip",
+                                  False)
+        return AppliedFailure(
+            f"{fs.name}: corrupted chunk {path} ({tier} tier)",
+            fatal=False)
 
     if kind == "straggler":
         factor = float(event.params.get("factor", 4.0))

@@ -145,7 +145,7 @@ def chaos_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                   disk_kind: str = "local", coord_node_index: int = 0,
                   tracker: Optional[JobTracker] = None,
                   generation: int = 1, incremental: bool = False,
-                  ckpt_workers: int = 0) -> Generator:
+                  ckpt_workers: int = 0, store=None) -> Generator:
     """Process generator: restart after a *crash* from a resume-intent
     checkpoint.
 
@@ -160,9 +160,13 @@ def chaos_restart(cluster: Cluster, ckpt_set: CheckpointSet,
     from ..ibverbs import VerbsLib  # local import to avoid cycles
 
     env = cluster.env
-    ckpt_set.stage_to(cluster, disk_kind)
+    if store is not None:
+        store.stage_from(ckpt_set)
+    else:
+        ckpt_set.stage_to(cluster, disk_kind)
     coordinator = Coordinator(cluster.nodes[coord_node_index],
                               expected_clients=len(ckpt_set.records))
+    coordinator.store = store
     if tracker is not None:
         tracker.coordinator = coordinator
     spec_by_rank = {spec.rank: spec for spec in specs}
@@ -175,9 +179,14 @@ def chaos_restart(cluster: Cluster, ckpt_set: CheckpointSet,
         host.libs["ibverbs"] = VerbsLib(host)
 
         def flow(record=record, host=host, node=node, dst_index=dst_index):
-            disk = node.disk(disk_kind)
-            data = yield from disk.read(record.path)
-            image = CheckpointImage.from_bytes(data)
+            if store is not None:
+                image = yield from store.fetch_image(
+                    record.name, epoch=record.epoch or None,
+                    via_node_index=dst_index)
+            else:
+                disk = node.disk(disk_kind)
+                data = yield from disk.read(record.path)
+                image = CheckpointImage.from_bytes(data)
             image.restore_memory(host.memory)
             # mtcp_restart-equivalent bring-up before the app re-enters
             yield host.compute(seconds=costs.restart_base)
@@ -186,7 +195,7 @@ def chaos_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                                 costs=costs, gzip=gzip, disk_kind=disk_kind,
                                 node_index=dst_index,
                                 incremental=incremental,
-                                ckpt_workers=ckpt_workers)
+                                ckpt_workers=ckpt_workers, store=store)
             proc.appctx.restarts = generation - 1
             if incremental:
                 # seed the incremental chain: restore() bumped every
@@ -224,6 +233,11 @@ class RecoveryConfig:
     incremental: bool = False
     #: compressor threads per process for dirty-region measurement
     ckpt_workers: int = 0
+    #: land checkpoints in a content-addressed multi-tier store
+    #: (``repro.store``) instead of monolithic per-process files; a fresh
+    #: store is built per generation and re-staged from the last
+    #: CheckpointSet, fully replicated
+    use_store: bool = False
     #: consecutive failures *without a new checkpoint* before giving up
     max_attempts: int = 5
     backoff_base: float = 2.0        # first retry delay (seconds)
@@ -326,6 +340,13 @@ class RecoveryManager:
             specs = self.specs_for(cluster)
             self.gate.world = len(specs)
             self.gate.reset()
+            store = None
+            if cfg.use_store:
+                # a fresh store per generation: the old cluster's tiers
+                # died with it, and stage_from rebuilds every replica
+                # from the surviving CheckpointSet
+                from ..store import CheckpointStore
+                store = CheckpointStore(cluster)
             tracker = JobTracker()
             fail_evt = self.injector.arm() if self.injector is not None \
                 else env.event()
@@ -340,7 +361,7 @@ class RecoveryManager:
                     costs=self.costs, gzip=cfg.gzip,
                     disk_kind=cfg.disk_kind, tracker=tracker,
                     incremental=cfg.incremental,
-                    ckpt_workers=cfg.ckpt_workers)
+                    ckpt_workers=cfg.ckpt_workers, store=store)
             else:
                 self._mark(outcome, "restart",
                            f"generation {generation} from checkpoint at "
@@ -350,7 +371,7 @@ class RecoveryManager:
                     costs=self.costs, gzip=cfg.gzip,
                     disk_kind=cfg.disk_kind, tracker=tracker,
                     generation=generation, incremental=cfg.incremental,
-                    ckpt_workers=cfg.ckpt_workers)
+                    ckpt_workers=cfg.ckpt_workers, store=store)
             launch_proc = env.process(
                 _safe(launch_gen), name=f"{self.name}.up.g{generation}")
 
@@ -422,6 +443,8 @@ class RecoveryManager:
             if status == "done":
                 if self.injector is not None:
                     self.injector.clear_target()
+                if store is not None:
+                    store.stop()  # nothing left worth replicating
                 tracker.kill_all()  # coordinator loops parked on recv
                 outcome.results = [p.appctx.done.value
                                    for p in session.procs]
@@ -442,6 +465,8 @@ class RecoveryManager:
             outcome.lost_work += lost
             if self.injector is not None:
                 self.injector.clear_target()
+            if store is not None:
+                store.stop()  # replication flows target a dead cluster
             tracker.kill_all()
             cluster.teardown()
             self.gate.reset()

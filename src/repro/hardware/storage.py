@@ -17,7 +17,7 @@ __all__ = ["FileSystem", "Disk", "StorageError"]
 
 
 class StorageError(RuntimeError):
-    """Missing file or invalid storage operation."""
+    """Missing file, invalid storage operation, or capacity overflow."""
 
 
 @dataclass
@@ -27,14 +27,43 @@ class _File:
 
 
 class FileSystem:
-    """A flat in-memory filesystem (shared for Lustre, per-node for disks)."""
+    """A flat in-memory filesystem (shared for Lustre, per-node for disks).
 
-    def __init__(self, name: str = "fs"):
+    ``capacity_bytes`` is an optional quota on the *logical* bytes held
+    (the paper-testbed sizes the files stand for — the unit every
+    transfer-time and image-size account uses).  ``store`` raises
+    :class:`StorageError` when a write would exceed it; overwriting an
+    existing path first releases that path's old accounting.
+    """
+
+    def __init__(self, name: str = "fs",
+                 capacity_bytes: Optional[float] = None):
         self.name = name
+        self.capacity_bytes = capacity_bytes
         self._files: Dict[str, _File] = {}
+        self._used_logical = 0.0
+
+    def check_capacity(self, path: str, logical_size: float) -> None:
+        """Raise :class:`StorageError` if storing ``logical_size`` at
+        ``path`` would overflow the quota (no-op when unlimited)."""
+        if self.capacity_bytes is None:
+            return
+        old = self._files.get(path)
+        projected = self._used_logical + logical_size \
+            - (old.logical_size if old is not None else 0.0)
+        if projected > self.capacity_bytes:
+            raise StorageError(
+                f"{self.name}: quota exceeded storing {path!r} "
+                f"({projected:.0f} > {self.capacity_bytes:.0f} logical "
+                f"bytes)")
 
     def store(self, path: str, data: bytes, logical_size: float) -> None:
+        self.check_capacity(path, logical_size)
+        old = self._files.get(path)
+        if old is not None:
+            self._used_logical -= old.logical_size
         self._files[path] = _File(data=data, logical_size=logical_size)
+        self._used_logical += logical_size
 
     def load(self, path: str) -> bytes:
         return self._entry(path).data
@@ -52,7 +81,8 @@ class FileSystem:
         return path in self._files
 
     def delete(self, path: str) -> None:
-        self._entry(path)
+        entry = self._entry(path)
+        self._used_logical -= entry.logical_size
         del self._files[path]
 
     def listdir(self, prefix: str = "") -> list[str]:
@@ -61,6 +91,11 @@ class FileSystem:
     @property
     def total_bytes(self) -> int:
         return sum(len(f.data) for f in self._files.values())
+
+    @property
+    def used_logical_bytes(self) -> float:
+        """Logical bytes currently stored (what the quota is charged on)."""
+        return self._used_logical
 
 
 class Disk:
@@ -87,6 +122,7 @@ class Disk:
         """Process generator: store ``data``, charging time for
         ``logical_size`` (defaults to ``len(data)``) at write bandwidth."""
         size = float(len(data) if logical_size is None else logical_size)
+        self.fs.check_capacity(path, size)  # ENOSPC before seeking
         yield self._head.request()
         try:
             yield self.env.timeout(self.latency + size / self.write_bandwidth)

@@ -22,7 +22,8 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .report import decompose, render, trace_scenario
+from .report import (decompose, render, render_store, store_summary,
+                     trace_scenario)
 from .trace import (
     Tracer,
     canonicalize,
@@ -46,7 +47,9 @@ __all__ = [
     "install_tracer",
     "load_trace",
     "render",
+    "render_store",
     "split_segments",
+    "store_summary",
     "trace_scenario",
     "traced",
     "uninstall_tracer",

@@ -16,7 +16,8 @@ import argparse
 import json
 
 from .invariants import check_trace_invariants
-from .report import decompose, render, trace_scenario
+from .report import (decompose, render, render_store, store_summary,
+                     trace_scenario)
 from .trace import load_trace
 
 
@@ -39,6 +40,10 @@ def main(argv=None) -> int:
     rep.add_argument("--crash-at", type=float, default=None,
                      help="inject a fatal node crash at this sim time so "
                           "the trace exercises refill + replay")
+    rep.add_argument("--store", action="store_true",
+                     help="checkpoint through the content-addressed "
+                          "multi-tier store so the trace carries "
+                          "store.* records")
     rep.add_argument("--sink", metavar="PATH", default=None,
                      help="also write the trace as JSONL to PATH")
     rep.add_argument("--json", action="store_true",
@@ -52,7 +57,7 @@ def main(argv=None) -> int:
         tracer, outcome = trace_scenario(
             app=args.run, seed=args.seed, iters_sim=args.iters,
             ckpt_interval=args.ckpt_interval, crash_at=args.crash_at,
-            sink=args.sink)
+            store=args.store, sink=args.sink)
         events = tracer.events
         dropped = tracer.dropped
         print(f"# {args.run.upper()} completed in "
@@ -63,11 +68,17 @@ def main(argv=None) -> int:
 
     violations = check_trace_invariants(events, dropped=dropped)
     decomp = decompose(events)
+    store = store_summary(events)
+    store_active = store["puts"] or store["fetches"]
     if args.json:
-        print(json.dumps({"decomposition": decomp,
-                          "violations": violations}, indent=2))
+        payload = {"decomposition": decomp, "violations": violations}
+        if store_active:
+            payload["store"] = store
+        print(json.dumps(payload, indent=2))
     else:
         print(render(decomp))
+        if store_active:
+            print(render_store(store))
         if violations:
             print(f"# {len(violations)} trace invariant violation(s):")
             for violation in violations:

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-__all__ = ["decompose", "render", "trace_scenario"]
+__all__ = ["decompose", "render", "render_store", "store_summary",
+           "trace_scenario"]
 
 _PHASES = ("quiesce", "drain", "capture", "compress", "write",
            "refill", "replay")
@@ -147,13 +148,87 @@ def render(decomp: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def store_summary(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate the ``store.*`` records of a trace: dedup effectiveness
+    per put, replication volume, per-tier fetch hits, and the corruption
+    defence (detections + heals).  Empty trace → all-zero dict, so the
+    caller can key "was a store in play" off ``puts``."""
+    summary = {
+        "puts": 0, "put_seconds": 0.0, "chunks_new": 0,
+        "chunks_deduped": 0, "bytes_written": 0.0,
+        "replications": 0, "chunks_copied": 0, "chunks_skipped": 0,
+        "fetches": 0, "fetch_seconds": 0.0,
+        "hits_local": 0, "hits_partner": 0, "hits_lustre": 0,
+        "corrupt_detected": 0, "healed": 0,
+        "gc_manifests": 0, "gc_chunks": 0,
+    }
+    for event in events:
+        kind, ev = event["kind"], event["ev"]
+        if kind == "store.put" and ev == "E":
+            summary["puts"] += 1
+            summary["put_seconds"] += event.get("dur", 0.0)
+            summary["chunks_new"] += event.get("chunks_new", 0)
+            summary["chunks_deduped"] += event.get("chunks_deduped", 0)
+            summary["bytes_written"] += event.get("bytes_written", 0.0)
+        elif kind == "store.replicate" and ev == "E":
+            summary["replications"] += 1
+            summary["chunks_copied"] += event.get("copied", 0)
+            summary["chunks_skipped"] += event.get("skipped", 0)
+            summary["gc_manifests"] += event.get("gc_manifests", 0)
+            summary["gc_chunks"] += event.get("gc_chunks", 0)
+        elif kind == "store.fetch" and ev == "E":
+            summary["fetches"] += 1
+            summary["fetch_seconds"] += event.get("dur", 0.0)
+            for tier in ("local", "partner", "lustre"):
+                summary[f"hits_{tier}"] += event.get(f"hits_{tier}", 0)
+        elif kind == "store.corrupt":
+            summary["corrupt_detected"] += 1
+        elif kind == "store.heal":
+            summary["healed"] += 1
+        elif kind == "store.gc":
+            summary["gc_manifests"] += event.get("manifests", 0)
+            summary["gc_chunks"] += event.get("chunks", 0)
+    total = summary["chunks_new"] + summary["chunks_deduped"]
+    summary["dedup_ratio"] = (summary["chunks_deduped"] / total
+                              if total else 0.0)
+    return summary
+
+
+def render_store(summary: Dict[str, Any]) -> str:
+    """Format a :func:`store_summary` as a short text block."""
+    lines = [
+        f"checkpoint store: {summary['puts']} put(s) in "
+        f"{summary['put_seconds']:.4f}s (sim) — "
+        f"{summary['chunks_new']} new chunk(s), "
+        f"{summary['chunks_deduped']} deduped "
+        f"({summary['dedup_ratio']:.1%}), "
+        f"{summary['bytes_written'] / 1e6:.2f} MB written",
+        f"  replication: {summary['replications']} flow(s), "
+        f"{summary['chunks_copied']} chunk(s) copied, "
+        f"{summary['chunks_skipped']} skipped (already placed)",
+        f"  fetches: {summary['fetches']} in "
+        f"{summary['fetch_seconds']:.4f}s — hits "
+        f"local {summary['hits_local']}, "
+        f"partner {summary['hits_partner']}, "
+        f"lustre {summary['hits_lustre']}",
+        f"  integrity: {summary['corrupt_detected']} corrupt chunk(s) "
+        f"detected, {summary['healed']} healed; "
+        f"gc retired {summary['gc_manifests']} manifest(s) / "
+        f"{summary['gc_chunks']} chunk file(s)",
+    ]
+    return "\n".join(lines)
+
+
 def trace_scenario(app: str = "lu", seed: int = 2014,
                    iters_sim: int = 24, nprocs: int = 4,
                    ckpt_interval: float = 1.0, crash_at: Optional[float]
-                   = None, sink: Optional[str] = None):
+                   = None, store: bool = False,
+                   sink: Optional[str] = None):
     """Run a NAS chaos scenario under a fresh tracer; returns
     ``(tracer, outcome)``.  ``crash_at`` injects one fatal node crash so
-    the trace exercises the restart path (refill + replay)."""
+    the trace exercises the restart path (refill + replay); ``store``
+    lands checkpoints in the content-addressed multi-tier store so the
+    trace carries ``store.*`` records."""
     from ..faults.harness import run_chaos_nas
     from ..faults.schedule import FailureEvent, FixedSchedule
     from .trace import traced
@@ -165,5 +240,6 @@ def trace_scenario(app: str = "lu", seed: int = 2014,
         outcome = run_chaos_nas(
             app=app, klass=klass, nprocs=nprocs, iters_sim=iters_sim,
             seed=seed, ckpt_interval=ckpt_interval,
-            schedule=FixedSchedule(failures), backoff_base=0.25)
+            schedule=FixedSchedule(failures), use_store=store,
+            backoff_base=0.25)
     return tracer, outcome

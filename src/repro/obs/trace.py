@@ -4,7 +4,8 @@ and wall-clock timestamps.
 The tracer is attached exactly like :class:`~repro.analysis.protocol.
 ProtocolMonitor`: a ``tracer`` class attribute on the instrumented
 classes (``InfinibandPlugin``, ``DmtcpProcess``, ``Coordinator``,
-``RecoveryManager``, ``Injector``), installed class-wide by
+``RecoveryManager``, ``Injector``, ``CheckpointStore``), installed
+class-wide by
 :func:`install_tracer` — ``core``/``dmtcp``/``faults`` never import
 ``obs``.  ``None`` costs one attribute read per hook site.
 
@@ -190,24 +191,26 @@ def install_tracer(tracer: Tracer) -> Tuple[Any, ...]:
     from ..dmtcp.process import DmtcpProcess
     from ..faults.injector import Injector
     from ..faults.recovery import RecoveryManager
+    from ..store.store import CheckpointStore
 
     classes = (InfinibandPlugin, DmtcpProcess, Coordinator,
-               RecoveryManager, Injector)
+               RecoveryManager, Injector, CheckpointStore)
     prev = tuple(klass.tracer for klass in classes)
     for klass in classes:
         klass.tracer = tracer
     return prev
 
 
-def uninstall_tracer(prev: Tuple[Any, ...] = (None,) * 5) -> None:
+def uninstall_tracer(prev: Tuple[Any, ...] = (None,) * 6) -> None:
     from ..core.ib_plugin.plugin import InfinibandPlugin
     from ..dmtcp.coordinator import Coordinator
     from ..dmtcp.process import DmtcpProcess
     from ..faults.injector import Injector
     from ..faults.recovery import RecoveryManager
+    from ..store.store import CheckpointStore
 
     classes = (InfinibandPlugin, DmtcpProcess, Coordinator,
-               RecoveryManager, Injector)
+               RecoveryManager, Injector, CheckpointStore)
     for klass, tracer in zip(classes, prev):
         klass.tracer = tracer
 

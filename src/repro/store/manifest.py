@@ -1,0 +1,123 @@
+"""Checkpoint manifests: the per-rank, per-epoch chunk lists.
+
+A :class:`Manifest` is the store's unit of coordination: one per process
+per checkpoint epoch, recording every memory region as a reference to a
+content-addressed chunk (digest + sizes + the capture bookkeeping the
+incremental pipeline needs back at restart) plus the image-level header
+fields of :class:`~repro.dmtcp.image.CheckpointImage`.  Chunks carry the
+bytes; manifests carry everything needed to reassemble a bit-identical
+image from them — so a manifest plus a resolvable chunk set on *any*
+live tier is a complete checkpoint.
+
+Manifests are small (a few hundred bytes per region) and are replicated
+to every tier alongside the chunks they reference; their serialized form
+is what :class:`~.store.CheckpointStore` garbage-collects by refcount.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ChunkRef", "Manifest", "ManifestError",
+           "chunk_path", "manifest_path"]
+
+_MAGIC = b"STOREMF1"
+
+#: flat namespace shared by every tier filesystem: one content-addressed
+#: chunk pool per device, so local-tier data and partner-tier replicas
+#: landing on the same physical disk dedup against each other too
+CHUNK_PREFIX = "/store/chunks/"
+MANIFEST_PREFIX = "/store/manifests/"
+
+
+class ManifestError(RuntimeError):
+    """Malformed manifest blob (bad magic / truncated payload)."""
+
+
+def chunk_path(digest: bytes) -> str:
+    return f"{CHUNK_PREFIX}{digest.hex()}"
+
+
+def manifest_path(proc_name: str, epoch: int) -> str:
+    return f"{MANIFEST_PREFIX}{proc_name}/{epoch:08d}"
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """One region's reference into the chunk pool."""
+
+    region_name: str
+    digest: bytes            # blake2b-16 of the raw region bytes
+    addr: int
+    size: int                # raw bytes the chunk holds
+    repr_scale: float
+    tag: str
+    generation: int          # region generation at capture (incremental seed)
+    ratio: Optional[float]   # measured compression ratio (None = unmeasured)
+
+    @property
+    def logical_bytes(self) -> float:
+        """Paper-testbed bytes a write/read of this chunk is charged for
+        (compressed: the writer pipes chunks through gzip)."""
+        effective = min(1.0, self.ratio) if self.ratio is not None else 1.0
+        return self.size * self.repr_scale * effective
+
+
+@dataclass
+class Manifest:
+    """One process's checkpoint epoch as chunk references + image header."""
+
+    proc_name: str
+    rank: int
+    epoch: int
+    node_index: int          # node the checkpoint was taken on (local tier)
+    partner_index: int       # node holding the partner replica
+    chunks: List[ChunkRef]
+    #: image-level fields needed to rebuild the CheckpointImage verbatim
+    header: Dict = field(default_factory=dict)
+    #: address-space bookkeeping (memory name + next_addr)
+    memory_name: str = ""
+    next_addr: int = 0
+
+    @property
+    def path(self) -> str:
+        return manifest_path(self.proc_name, self.epoch)
+
+    @property
+    def logical_bytes(self) -> float:
+        return sum(ref.logical_bytes for ref in self.chunks)
+
+    def digests(self) -> List[bytes]:
+        return [ref.digest for ref in self.chunks]
+
+    def to_bytes(self) -> bytes:
+        payload = pickle.dumps(
+            {
+                "proc_name": self.proc_name,
+                "rank": self.rank,
+                "epoch": self.epoch,
+                "node_index": self.node_index,
+                "partner_index": self.partner_index,
+                "chunks": [
+                    (c.region_name, c.digest, c.addr, c.size, c.repr_scale,
+                     c.tag, c.generation, c.ratio) for c in self.chunks],
+                "header": self.header,
+                "memory_name": self.memory_name,
+                "next_addr": self.next_addr,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL)
+        return _MAGIC + payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Manifest":
+        if blob[:8] != _MAGIC:
+            raise ManifestError("not a store manifest (bad magic)")
+        try:
+            fields_ = pickle.loads(blob[8:])
+        except Exception as exc:
+            raise ManifestError(f"truncated manifest payload: {exc}") \
+                from exc
+        chunks = [ChunkRef(*row) for row in fields_.pop("chunks")]
+        return cls(chunks=chunks, **fields_)

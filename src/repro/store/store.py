@@ -1,0 +1,525 @@
+"""The checkpoint store: content-addressed chunks across three tiers.
+
+:class:`CheckpointStore` sits between the per-process checkpoint pipeline
+(:mod:`repro.dmtcp`) and the raw devices (:mod:`repro.hardware.storage`):
+
+* **put** — ``put_image`` lands one process's :class:`~repro.dmtcp.image.
+  CheckpointImage` on the node-local tier as content-addressed chunks (one
+  per memory region, keyed by the capture's blake2b fingerprint) plus a
+  :class:`~.manifest.Manifest`.  A chunk whose digest is already on the
+  tier — same bytes from a previous epoch, or from another rank on the
+  node — costs a manifest reference instead of a write, so an unchanged
+  region is never rewritten.
+* **replicate** — the coordinator calls ``schedule_replication`` as each
+  checkpoint epoch completes; an async sim process then copies missing
+  chunks and manifests to the partner-node and Lustre tiers while the
+  application runs on (the multi-level landing FTI popularized).
+* **fetch** — ``fetch_image`` reassembles a bit-identical image for
+  restart, resolving every chunk from the cheapest *live* tier.  Each
+  read is digest-verified; a corrupt copy is skipped, served from the
+  next replica, and healed in place.
+* **GC** — manifests are refcounted per tier filesystem; retiring an
+  epoch under the retention policy deletes only chunks no surviving
+  manifest references.
+
+The store never uses OS threads — replication runs as simulation
+processes — and, like the rest of the instrumented stack, carries an
+opt-in class-wide ``tracer`` (``store.put`` / ``store.replicate`` /
+``store.fetch`` spans, ``store.corrupt`` / ``store.heal`` /
+``store.gc`` points) installed by :func:`repro.obs.trace.install_tracer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from ..dmtcp.image import CheckpointImage
+from ..hardware.cluster import Cluster
+from ..hardware.storage import FileSystem, StorageError
+from .chunks import digest_bytes
+from .manifest import ChunkRef, Manifest, chunk_path
+from .tiers import LocalTier, LustreTier, PartnerTier
+
+__all__ = ["CheckpointStore", "PutResult", "StoreConfig", "StoreError"]
+
+
+class StoreError(RuntimeError):
+    """No live replica could serve a chunk (or an unknown checkpoint)."""
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Placement and retention knobs."""
+
+    #: buddy distance: node i's partner replica lands on node (i+offset)%n
+    partner_offset: int = 1
+    #: checkpoint epochs kept per process (≥1; the latest always survives)
+    retention: int = 2
+    #: verify chunk digests on every fetch (the corruption defence);
+    #: disabling trades safety for a hash per chunk read
+    verify_digests: bool = True
+
+
+@dataclass
+class PutResult:
+    """What landing one image on the local tier cost."""
+
+    epoch: int                  # absolute store epoch (offset-mapped)
+    manifest_path: str
+    chunks_new: int = 0
+    chunks_deduped: int = 0
+    bytes_written: float = 0.0  # logical bytes charged to the local disk
+    bytes_real: float = 0.0     # real bytes of the new chunks
+
+
+class CheckpointStore:
+    """One job's multi-tier checkpoint store (see module docstring)."""
+
+    #: opt-in lifecycle tracer (``repro.obs.trace``), installed class-wide
+    #: by ``install_tracer``, like ``DmtcpProcess.tracer``.
+    tracer = None
+
+    def __init__(self, cluster: Cluster, config: StoreConfig = StoreConfig(),
+                 name: str = "store"):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config
+        self.name = name
+        self.local = LocalTier(cluster)
+        self.partner: Optional[PartnerTier] = \
+            PartnerTier(cluster, offset=config.partner_offset) \
+            if len(cluster.nodes) > 1 else None
+        self.lustre: Optional[LustreTier] = \
+            LustreTier(cluster) if cluster.lustre_fs is not None else None
+        #: manifests by process name → absolute epoch
+        self._manifests: Dict[str, Dict[int, Manifest]] = {}
+        #: tier filesystems a (proc, epoch) manifest landed on
+        self._sites: Dict[Tuple[str, int], Set[str]] = {}
+        #: per-filesystem chunk refcounts (digest → referencing manifests)
+        self._refs: Dict[str, Dict[bytes, int]] = {}
+        self._fs_by_name: Dict[str, FileSystem] = {}
+        #: epochs whose replication has been scheduled (idempotency)
+        self._replicated: Set[int] = set()
+        self._live_flows: List = []
+        #: staged restarts resume the previous job's epoch numbering:
+        #: a fresh coordinator counts from 1 again, so put/replication
+        #: epochs are offset past everything ingested by ``stage_from``
+        self._epoch_offset = 0
+        self.stats = {
+            "puts": 0, "chunks_new": 0, "chunks_deduped": 0,
+            "bytes_written": 0.0, "replicated_chunks": 0,
+            "replicate_skipped": 0, "fetches": 0,
+            "hits_local": 0, "hits_partner": 0, "hits_lustre": 0,
+            "corrupt_detected": 0, "healed": 0,
+            "gc_manifests": 0, "gc_chunks": 0,
+        }
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _partner_index(self, node_index: int) -> int:
+        if self.partner is None:
+            return node_index % len(self.cluster.nodes)
+        return self.partner.placement(node_index)
+
+    def _register(self, fs: FileSystem, manifest: Manifest) -> None:
+        """Record that ``manifest`` (and its chunks' references) landed on
+        tier filesystem ``fs``."""
+        key = (manifest.proc_name, manifest.epoch)
+        self._fs_by_name[fs.name] = fs
+        sites = self._sites.setdefault(key, set())
+        if fs.name in sites:
+            return
+        sites.add(fs.name)
+        refs = self._refs.setdefault(fs.name, {})
+        for digest in manifest.digests():
+            refs[digest] = refs.get(digest, 0) + 1
+        self._manifests.setdefault(manifest.proc_name, {})[manifest.epoch] \
+            = manifest
+
+    def _retire(self, proc_name: str, epoch: int) -> int:
+        """Drop one manifest everywhere it landed; deletes chunks whose
+        refcount hits zero.  Returns the number of chunk files deleted."""
+        manifest = self._manifests.get(proc_name, {}).pop(epoch, None)
+        if manifest is None:
+            return 0
+        deleted = 0
+        for fs_name in sorted(self._sites.pop((proc_name, epoch), set())):
+            fs = self._fs_by_name[fs_name]
+            refs = self._refs.get(fs_name, {})
+            for digest in manifest.digests():
+                count = refs.get(digest, 0) - 1
+                if count <= 0:
+                    refs.pop(digest, None)
+                    path = chunk_path(digest)
+                    if fs.exists(path):
+                        fs.delete(path)
+                        deleted += 1
+                else:
+                    refs[digest] = count
+            if fs.exists(manifest.path):
+                fs.delete(manifest.path)
+        return deleted
+
+    def latest_epoch(self, proc_name: str) -> int:
+        by_epoch = self._manifests.get(proc_name)
+        if not by_epoch:
+            raise StoreError(f"{self.name}: no checkpoints for "
+                             f"{proc_name!r}")
+        return max(by_epoch)
+
+    def manifest(self, proc_name: str, epoch: int) -> Manifest:
+        try:
+            return self._manifests[proc_name][epoch]
+        except KeyError:
+            raise StoreError(f"{self.name}: no manifest for "
+                             f"{proc_name!r} epoch {epoch}") from None
+
+    # -- put ------------------------------------------------------------------
+
+    @staticmethod
+    def _refs_for(image: CheckpointImage) -> List[Tuple[ChunkRef, bytes]]:
+        """One (chunk reference, raw bytes) pair per image region, reusing
+        the capture's fingerprint when it recorded one."""
+        pairs = []
+        for region in image.memory_snapshot["regions"]:
+            meta = image.region_meta.get(region["name"], {})
+            digest = meta.get("hash")
+            if digest is None:
+                digest = digest_bytes(region["data"])
+            pairs.append((ChunkRef(
+                region_name=region["name"], digest=digest,
+                addr=region["addr"], size=region["size"],
+                repr_scale=region["repr_scale"], tag=region["tag"],
+                generation=meta.get("generation", 0),
+                ratio=meta.get("ratio")), region["data"]))
+        return pairs
+
+    def _manifest_for(self, image: CheckpointImage, rank: int,
+                      node_index: int, epoch: int,
+                      refs: List[ChunkRef]) -> Manifest:
+        header = {
+            "proc_name": image.proc_name, "pid": image.pid,
+            "kernel_version": image.kernel_version,
+            "hca_vendor": image.hca_vendor, "gzip": image.gzip,
+            "checkpointer": image.checkpointer,
+            "raw_logical_bytes": image.raw_logical_bytes,
+            "compression_ratio": image.compression_ratio,
+            "header_bytes": image.header_bytes,
+            "region_meta": image.region_meta,
+            "delta_logical_bytes": image.delta_logical_bytes,
+            "capture_stats": image.capture_stats,
+        }
+        return Manifest(
+            proc_name=image.proc_name, rank=rank, epoch=epoch,
+            node_index=node_index % len(self.cluster.nodes),
+            partner_index=self._partner_index(node_index), chunks=refs,
+            header=header, memory_name=image.memory_snapshot["name"],
+            next_addr=image.memory_snapshot["next_addr"])
+
+    def put_image(self, rank: int, node_index: int, epoch: int,
+                  image: CheckpointImage,
+                  stall: float = 1.0) -> Generator:
+        """Process generator: land ``image`` on ``node_index``'s local
+        tier.  ``stall`` is the caller's gzip pipeline stall factor — new
+        chunks stream through the same compressor the monolithic write
+        did, so their charged bytes stall identically.  Returns a
+        :class:`PutResult`.
+        """
+        epoch = epoch + self._epoch_offset
+        tracer = self.tracer
+        disk = self.local.replica_disk(node_index)
+        fs = disk.fs
+        result = PutResult(epoch=epoch, manifest_path="")
+        span = None if tracer is None else tracer.begin(
+            "store.put", image.proc_name, self.env.now, epoch=epoch,
+            node=node_index, regions=len(image.memory_snapshot["regions"]))
+        pairs = self._refs_for(image)
+        for ref, data in pairs:
+            path = chunk_path(ref.digest)
+            if fs.exists(path):
+                result.chunks_deduped += 1
+                continue
+            logical = ref.logical_bytes * stall
+            yield from disk.write(path, data, logical_size=logical)
+            result.chunks_new += 1
+            result.bytes_written += logical
+            result.bytes_real += float(len(data))
+        manifest = self._manifest_for(image, rank, node_index, epoch,
+                                      [ref for ref, _data in pairs])
+        blob = manifest.to_bytes()
+        yield from disk.write(manifest.path, blob,
+                              logical_size=image.header_bytes)
+        result.bytes_written += image.header_bytes
+        result.manifest_path = manifest.path
+        self._register(fs, manifest)
+        self.stats["puts"] += 1
+        self.stats["chunks_new"] += result.chunks_new
+        self.stats["chunks_deduped"] += result.chunks_deduped
+        self.stats["bytes_written"] += result.bytes_written
+        if tracer is not None:
+            tracer.metrics.counter("store.chunks_new").inc(
+                result.chunks_new)
+            tracer.metrics.counter("store.chunks_deduped").inc(
+                result.chunks_deduped)
+            tracer.end(span, self.env.now, chunks_new=result.chunks_new,
+                       chunks_deduped=result.chunks_deduped,
+                       bytes_written=result.bytes_written)
+        return result
+
+    # -- replication -----------------------------------------------------------
+
+    def schedule_replication(self, epoch: int) -> None:
+        """Kick off async replication of every manifest at ``epoch`` (the
+        coordinator calls this as each checkpoint epoch completes).
+        Idempotent per epoch; the copies run as a background sim process
+        while the application resumes."""
+        epoch = epoch + self._epoch_offset
+        if epoch in self._replicated:
+            return
+        self._replicated.add(epoch)
+        manifests = [by_epoch[epoch]
+                     for _name, by_epoch in sorted(self._manifests.items())
+                     if epoch in by_epoch]
+        if not manifests:
+            return
+        flow = self.env.process(self._replicate_flow(epoch, manifests),
+                                name=f"{self.name}.replicate.e{epoch}")
+        self._live_flows.append(flow)
+
+    def _replication_targets(self, manifest: Manifest):
+        targets = []
+        if self.partner is not None \
+                and not self.partner.degenerate(manifest.node_index):
+            targets.append(self.partner)
+        if self.lustre is not None:
+            targets.append(self.lustre)
+        return targets
+
+    def _replicate_flow(self, epoch: int, manifests: List[Manifest]
+                        ) -> Generator:
+        tracer = self.tracer
+        span = None if tracer is None else tracer.begin(
+            "store.replicate", self.name, self.env.now, epoch=epoch,
+            manifests=len(manifests))
+        copied = skipped = 0
+        for manifest in manifests:
+            src_index = manifest.node_index
+            src_disk = self.local.replica_disk(src_index)
+            for tier in self._replication_targets(manifest):
+                if not tier.alive(src_index):
+                    skipped += len(manifest.chunks)
+                    continue
+                dst_fs = tier.replica_fs(src_index)
+                dst_disk = tier.replica_disk(src_index, via_index=src_index)
+                for ref in manifest.chunks:
+                    path = chunk_path(ref.digest)
+                    if dst_fs.exists(path):
+                        continue  # cross-rank / cross-epoch dedup
+                    data = None
+                    if self.local.alive(src_index) \
+                            and src_disk.fs.exists(path):
+                        try:
+                            data = yield from src_disk.read(path)
+                        except StorageError:
+                            data = None  # GC raced the read
+                    if data is None:
+                        skipped += 1
+                        continue
+                    if not tier.alive(src_index):
+                        skipped += 1
+                        continue
+                    try:
+                        yield from dst_disk.write(
+                            path, data, logical_size=ref.logical_bytes)
+                    except StorageError:
+                        skipped += 1  # replica tier out of quota
+                        continue
+                    copied += 1
+                if dst_fs.exists(manifest.path):
+                    self._register(dst_fs, manifest)
+                    continue
+                try:
+                    yield from dst_disk.write(
+                        manifest.path, manifest.to_bytes(),
+                        logical_size=float(
+                            manifest.header.get("header_bytes", 0.0)))
+                except StorageError:
+                    skipped += 1
+                    continue
+                self._register(dst_fs, manifest)
+        self.stats["replicated_chunks"] += copied
+        self.stats["replicate_skipped"] += skipped
+        gc_manifests, gc_chunks = self.collect_garbage()
+        if tracer is not None:
+            tracer.end(span, self.env.now, copied=copied, skipped=skipped,
+                       gc_manifests=gc_manifests, gc_chunks=gc_chunks)
+
+    def drain_replication(self) -> Generator:
+        """Process generator: wait for every in-flight replication flow."""
+        flows = [f for f in self._live_flows if f.is_alive]
+        self._live_flows = []
+        if flows:
+            yield self.env.all_of(flows)
+
+    def stop(self) -> None:
+        """Kill in-flight replication (the job died under the store)."""
+        for flow in self._live_flows:
+            if flow.is_alive:
+                flow.kill()
+        self._live_flows.clear()
+
+    # -- fetch -----------------------------------------------------------------
+
+    def _fetch_order(self, manifest: Manifest, via_index: int):
+        """(tier kind, fs, disk, alive) candidates, cheapest-first, for a
+        restart running on ``via_index``."""
+        n = len(self.cluster.nodes)
+        via_index %= n
+        order = []
+        home = self.local.placement(manifest.node_index)
+        order.append(("local", self.local.replica_fs(home),
+                      self.local.replica_disk(home),
+                      self.local.alive(home)))
+        if self.partner is not None:
+            p = manifest.partner_index % n
+            if p != home:
+                order.append(("partner",
+                              self.cluster.nodes[p].local_disk.fs,
+                              self.cluster.nodes[p].local_disk,
+                              not self.cluster.nodes[p].failed))
+        if self.lustre is not None:
+            order.append(("lustre", self.lustre.replica_fs(via_index),
+                          self.lustre.replica_disk(manifest.node_index,
+                                                   via_index=via_index),
+                          not self.cluster.nodes[via_index].failed))
+        return order
+
+    def fetch_image(self, proc_name: str, epoch: Optional[int] = None,
+                    via_node_index: int = 0) -> Generator:
+        """Process generator: reassemble a bit-identical
+        :class:`CheckpointImage`, resolving each chunk from the cheapest
+        live tier.  Every read is digest-verified (``config.
+        verify_digests``); a corrupt copy is skipped, served from the
+        next replica, and healed in place.  Raises :class:`StoreError`
+        when no live tier holds a valid copy of some chunk."""
+        if epoch is None:
+            epoch = self.latest_epoch(proc_name)
+        manifest = self.manifest(proc_name, epoch)
+        tracer = self.tracer
+        order = self._fetch_order(manifest, via_node_index)
+        hits = {"local": 0, "partner": 0, "lustre": 0}
+        span = None if tracer is None else tracer.begin(
+            "store.fetch", proc_name, self.env.now, epoch=epoch,
+            via=via_node_index, chunks=len(manifest.chunks))
+        regions = []
+        for ref in manifest.chunks:
+            path = chunk_path(ref.digest)
+            data = None
+            corrupt_sites = []
+            for kind, fs, disk, alive in order:
+                if not alive or not fs.exists(path):
+                    continue
+                blob = yield from disk.read(path)
+                if self.config.verify_digests \
+                        and digest_bytes(blob) != ref.digest:
+                    # silent corruption caught by the content address
+                    self.stats["corrupt_detected"] += 1
+                    corrupt_sites.append(fs)
+                    if tracer is not None:
+                        tracer.emit("store.corrupt", proc_name,
+                                    self.env.now, tier=kind,
+                                    region=ref.region_name, epoch=epoch)
+                    continue
+                data = blob
+                hits[kind] += 1
+                self.stats[f"hits_{kind}"] += 1
+                if tracer is not None:
+                    tracer.metrics.counter(f"store.fetch.{kind}").inc()
+                break
+            if data is None:
+                raise StoreError(
+                    f"{self.name}: no live replica of chunk "
+                    f"{ref.digest.hex()} ({proc_name}/{ref.region_name}, "
+                    f"epoch {epoch})")
+            for fs in corrupt_sites:
+                # heal: overwrite the rotten copy with the verified bytes
+                fs.store(path, data, ref.logical_bytes)
+                self.stats["healed"] += 1
+                if tracer is not None:
+                    tracer.emit("store.heal", proc_name, self.env.now,
+                                fs=fs.name, region=ref.region_name,
+                                epoch=epoch)
+            regions.append({
+                "name": ref.region_name, "addr": ref.addr,
+                "size": ref.size, "repr_scale": ref.repr_scale,
+                "tag": ref.tag, "data": data,
+            })
+        self.stats["fetches"] += 1
+        if tracer is not None:
+            tracer.end(span, self.env.now, hits_local=hits["local"],
+                       hits_partner=hits["partner"],
+                       hits_lustre=hits["lustre"])
+        snap = {"name": manifest.memory_name,
+                "next_addr": manifest.next_addr, "regions": regions}
+        return CheckpointImage(memory_snapshot=snap, **manifest.header)
+
+    # -- GC --------------------------------------------------------------------
+
+    def collect_garbage(self) -> Tuple[int, int]:
+        """Retire epochs beyond the retention window (newest ``config.
+        retention`` per process; the latest always survives).  Returns
+        (manifests retired, chunk files deleted)."""
+        retired = deleted = 0
+        keep = max(1, self.config.retention)
+        for proc_name in sorted(self._manifests):
+            epochs = sorted(self._manifests[proc_name])
+            for epoch in epochs[:-keep]:
+                deleted += self._retire(proc_name, epoch)
+                retired += 1
+        self.stats["gc_manifests"] += retired
+        self.stats["gc_chunks"] += deleted
+        if retired and self.tracer is not None:
+            self.tracer.emit("store.gc", self.name, self.env.now,
+                             manifests=retired, chunks=deleted)
+        return retired, deleted
+
+    # -- staging (offline, like CheckpointSet.stage_to) ------------------------
+
+    def ingest_record(self, record, node_map: Optional[Dict[int, int]]
+                      = None) -> Manifest:
+        """Offline scp analogue: place one checkpoint record's chunks and
+        manifest on every tier of this store's cluster (no sim time; the
+        §6.4 staging step is not part of any measured interval)."""
+        image = record.image
+        epoch = (getattr(record, "epoch", 0) or 1)
+        dst_index = (node_map or {}).get(
+            record.node_index, record.node_index % len(self.cluster.nodes))
+        pairs = self._refs_for(image)
+        manifest = self._manifest_for(image, record.rank, dst_index, epoch,
+                                      [ref for ref, _data in pairs])
+        blob = manifest.to_bytes()
+        tier_fss = [self.local.replica_fs(dst_index)]
+        if self.partner is not None \
+                and not self.partner.degenerate(dst_index):
+            tier_fss.append(self.partner.replica_fs(dst_index))
+        if self.lustre is not None:
+            tier_fss.append(self.lustre.replica_fs(dst_index))
+        for fs in tier_fss:
+            for ref, data in pairs:
+                path = chunk_path(ref.digest)
+                if not fs.exists(path):
+                    fs.store(path, data, ref.logical_bytes)
+            fs.store(manifest.path, blob, image.header_bytes)
+            self._register(fs, manifest)
+        self._replicated.add(epoch)
+        self._epoch_offset = max(self._epoch_offset, epoch)
+        return manifest
+
+    def stage_from(self, ckpt_set, node_map: Optional[Dict[int, int]]
+                   = None) -> None:
+        """Stage a whole :class:`~repro.dmtcp.launcher.CheckpointSet` onto
+        this store's cluster, fully replicated.  Future put/replication
+        epochs resume past the staged numbering."""
+        for record in ckpt_set.records:
+            self.ingest_record(record, node_map)

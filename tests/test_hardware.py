@@ -79,6 +79,86 @@ def test_fs_errors_and_listing():
     assert fs.total_bytes == 2
 
 
+def test_fs_capacity_quota_enforced():
+    fs = FileSystem("small", capacity_bytes=100.0)
+    fs.store("/a", b"x", 60.0)
+    with pytest.raises(StorageError, match="quota exceeded"):
+        fs.store("/b", b"y", 50.0)
+    assert not fs.exists("/b")                 # failed store leaves nothing
+    assert fs.used_logical_bytes == 60.0
+    fs.store("/b", b"y", 40.0)                 # exactly at the quota: fine
+    assert fs.used_logical_bytes == 100.0
+
+
+def test_fs_overwrite_releases_old_accounting():
+    fs = FileSystem("small", capacity_bytes=100.0)
+    fs.store("/a", b"old", 90.0)
+    # replacing /a charges the new size, not old + new
+    fs.store("/a", b"new", 95.0)
+    assert fs.used_logical_bytes == 95.0
+    with pytest.raises(StorageError):
+        fs.check_capacity("/other", 10.0)
+    fs.check_capacity("/a", 100.0)             # overwrite fits: no raise
+    fs.delete("/a")
+    assert fs.used_logical_bytes == 0.0
+
+
+def test_disk_write_checks_quota_before_seeking():
+    """ENOSPC surfaces immediately — no sim time burned, no head held."""
+    env = Environment()
+    fs = FileSystem("small", capacity_bytes=10.0)
+    disk = Disk(env, "d", write_bandwidth=1.0, read_bandwidth=1.0,
+                latency=5.0, fs=fs)
+
+    def proc():
+        yield from disk.write("/big", b"z", logical_size=11.0)
+
+    env.process(proc())
+    with pytest.raises(StorageError, match="quota exceeded"):
+        env.run()
+    assert env.now == 0.0                      # failed before the seek
+    assert disk.bytes_written == 0.0
+
+
+def test_disk_multi_stream_heads_overlap():
+    """streams=2: two writers proceed in parallel, the third queues —
+    unlike the single-head serialization of the default disk."""
+    env = Environment()
+    disk = Disk(env, "d", write_bandwidth=10.0, read_bandwidth=10.0,
+                latency=0.0, streams=2)
+    done = []
+
+    def writer(i):
+        yield from disk.write(f"/f{i}", b"0123456789")
+        done.append((f"/f{i}", env.now))
+
+    for i in range(3):
+        env.process(writer(i))
+    env.run()
+    times = [t for _p, t in done]
+    assert times == [pytest.approx(1.0), pytest.approx(1.0),
+                     pytest.approx(2.0)]
+    assert all(disk.fs.exists(f"/f{i}") for i in range(3))
+
+
+def test_fs_delete_and_listdir_edge_cases():
+    fs = FileSystem("fs")
+    with pytest.raises(StorageError):
+        fs.delete("/missing")
+    fs.store("/dir/a", b"1", 1)
+    fs.store("/dir/ab", b"2", 1)
+    fs.store("/dirx", b"3", 1)
+    # prefix matching is literal, not path-component aware
+    assert fs.listdir("/dir") == ["/dir/a", "/dir/ab", "/dirx"]
+    assert fs.listdir("/dir/") == ["/dir/a", "/dir/ab"]
+    assert fs.listdir("") == ["/dir/a", "/dir/ab", "/dirx"]
+    assert fs.listdir("/nope") == []
+    fs.delete("/dir/a")
+    with pytest.raises(StorageError):
+        fs.delete("/dir/a")                    # double delete
+    assert fs.listdir("/dir/") == ["/dir/ab"]
+
+
 # -- network -------------------------------------------------------------------
 
 def test_network_delivery_time():

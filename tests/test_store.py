@@ -1,0 +1,347 @@
+"""The content-addressed multi-tier checkpoint store (repro.store).
+
+Covers the chunk/manifest layer, dedup across epochs and ranks, async
+tier replication, tier-aware digest-verified fetch (including corrupt-
+chunk healing), refcounted GC under retention, and the store's trace
+instrumentation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dmtcp.image import CheckpointImage
+from repro.hardware import BUFFALO_CCR, Cluster, FileSystem, MGHPCC
+from repro.memory import AddressSpace
+from repro.sim import Environment
+from repro.store import (
+    CheckpointStore,
+    ChunkStore,
+    Manifest,
+    ManifestError,
+    StoreConfig,
+    StoreError,
+    chunk_path,
+    digest_bytes,
+    tiers_for,
+)
+
+
+def _capture(memory, name="p0", prev=None):
+    return CheckpointImage.capture(name, 1, "3.10.0", "mlx4", memory,
+                                   gzip=True, prev=prev)
+
+
+def _memory(n_regions=10, region_bytes=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    mem = AddressSpace(f"m{seed}")
+    for i in range(n_regions):
+        data = rng.integers(0, 256, region_bytes, dtype=np.uint8).tobytes()
+        mem.mmap(f"r{i}", region_bytes, data=data)
+    return mem
+
+
+def _run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def _mghpcc(env, n_nodes=4, name="store-test"):
+    return Cluster(env, MGHPCC, n_nodes=n_nodes, name=name)
+
+
+# -- chunk and manifest layer --------------------------------------------------
+
+def test_chunkstore_roundtrip_dedup_verify_delete():
+    cs = ChunkStore(FileSystem("pool"))
+    digest = digest_bytes(b"payload")
+    assert cs.put(digest, b"payload", 7.0)     # first copy lands
+    assert not cs.put(digest, b"payload", 7.0)  # content-addressed dedup
+    assert cs.has(digest)
+    assert cs.get(digest) == b"payload"
+    assert cs.verify(digest)
+    assert cs.chunk_count() == 1 and list(cs.digests()) == [digest]
+    # rot the stored bytes behind the store's back: verify must fail
+    cs.fs.store(chunk_path(digest), b"rotten!", 7)
+    assert not cs.verify(digest)
+    cs.delete(digest)
+    assert not cs.has(digest) and not cs.verify(digest)
+
+
+def test_manifest_roundtrip_and_bad_magic():
+    image = _capture(_memory(3))
+    env = Environment()
+    cluster = _mghpcc(env, name="mf")
+    store = CheckpointStore(cluster)
+    result = _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                                       image=image))
+    manifest = store.manifest("p0", result.epoch)
+    blob = manifest.to_bytes()
+    back = Manifest.from_bytes(blob)
+    assert back.proc_name == "p0" and back.epoch == result.epoch
+    assert back.digests() == manifest.digests()
+    assert back.header == manifest.header
+    with pytest.raises(ManifestError):
+        Manifest.from_bytes(b"NOTAMANIFEST" + blob)
+
+
+def test_put_reuses_capture_hashes():
+    """Chunk digests agree with the capture's own blake2b fingerprint:
+    when the incremental scan recorded a hash it IS the content address
+    (no rehash); regions without one (gen-clean/fresh) get the same
+    function applied, so cross-path dedup still works."""
+    mem = _memory(4)
+    base = _capture(mem)
+    incr = _capture(mem, prev=base)
+    refs = CheckpointStore._refs_for(incr)
+    for (ref, data), region in zip(refs, incr.memory_snapshot["regions"]):
+        assert ref.digest == digest_bytes(region["data"])
+        recorded = incr.region_meta[region["name"]]["hash"]
+        if recorded is not None:
+            assert ref.digest == recorded
+
+
+# -- put: dedup across epochs and ranks ---------------------------------------
+
+def test_incremental_put_writes_at_most_030x_of_full_baseline():
+    """ISSUE acceptance: at ~10% dirty regions, bytes written per
+    incremental checkpoint ≤ 0.3x the full-image baseline."""
+    env = Environment()
+    cluster = _mghpcc(env, name="dedup")
+    store = CheckpointStore(cluster)
+    mem = _memory(n_regions=10, seed=3)
+    full = _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                                     image=_capture(mem)))
+    assert full.chunks_new == 10 and full.chunks_deduped == 0
+    # dirty one region of ten, checkpoint again
+    region = next(iter(mem))
+    mem.write(region.addr, b"\x01\x02\x03")
+    second = _run(env, store.put_image(rank=0, node_index=0, epoch=2,
+                                       image=_capture(mem)))
+    assert second.chunks_new == 1 and second.chunks_deduped == 9
+    assert second.bytes_written <= 0.3 * full.bytes_written
+
+
+def test_cross_rank_dedup_on_shared_node():
+    """Two ranks on one node with identical region contents: the second
+    rank's put references the first rank's chunks instead of rewriting."""
+    env = Environment()
+    cluster = _mghpcc(env, name="xrank")
+    store = CheckpointStore(cluster)
+    mem0, mem1 = _memory(seed=5), _memory(seed=5)   # same bytes
+    r0 = _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                                   image=_capture(mem0, name="p0")))
+    r1 = _run(env, store.put_image(rank=1, node_index=0, epoch=1,
+                                   image=_capture(mem1, name="p1")))
+    assert r0.chunks_new == 10
+    assert r1.chunks_new == 0 and r1.chunks_deduped == 10
+    assert r1.bytes_real == 0.0
+
+
+# -- replication ---------------------------------------------------------------
+
+def test_replication_places_chunks_on_partner_and_lustre():
+    env = Environment()
+    cluster = _mghpcc(env, name="repl")
+    store = CheckpointStore(cluster)
+    image = _capture(_memory(seed=7))
+    result = _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                                       image=image))
+    manifest = store.manifest("p0", result.epoch)
+    partner_fs = cluster.nodes[manifest.partner_index].local_disk.fs
+    assert not any(partner_fs.exists(chunk_path(d))
+                   for d in manifest.digests())
+    store.schedule_replication(1)
+    _run(env, store.drain_replication())
+    for digest in manifest.digests():
+        assert partner_fs.exists(chunk_path(digest))
+        assert cluster.lustre_fs.exists(chunk_path(digest))
+    assert partner_fs.exists(manifest.path)
+    assert cluster.lustre_fs.exists(manifest.path)
+    assert store.stats["replicated_chunks"] == 20  # 10 chunks x 2 tiers
+    # idempotent: re-scheduling the same epoch spawns nothing new
+    store.schedule_replication(1)
+    assert not store._live_flows
+
+
+def test_single_node_cluster_has_no_partner_tier():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=1, name="solo")
+    store = CheckpointStore(cluster)
+    assert store.partner is None and store.lustre is None
+    tiers = tiers_for(cluster)
+    assert [t.kind for t in tiers] == ["local"]
+
+
+# -- tier-aware fetch ----------------------------------------------------------
+
+def _stored_and_replicated(env, cluster, seed=11):
+    store = CheckpointStore(cluster)
+    image = _capture(_memory(seed=seed))
+    _run(env, store.put_image(rank=0, node_index=0, epoch=1, image=image))
+    store.schedule_replication(1)
+    _run(env, store.drain_replication())
+    return store, image
+
+
+def test_fetch_bit_identical_from_every_tier():
+    env = Environment()
+    cluster = _mghpcc(env, name="tiers")
+    store, image = _stored_and_replicated(env, cluster)
+    reference = image.to_bytes()
+
+    fetched = _run(env, store.fetch_image("p0", via_node_index=2))
+    assert fetched.to_bytes() == reference
+    assert store.stats["hits_local"] == 10
+
+    cluster.nodes[0].fail()                     # local tier destroyed
+    fetched = _run(env, store.fetch_image("p0", via_node_index=2))
+    assert fetched.to_bytes() == reference
+    assert store.stats["hits_partner"] == 10
+
+    manifest = store.manifest("p0", 1)
+    cluster.nodes[manifest.partner_index].fail()  # partner gone too
+    fetched = _run(env, store.fetch_image("p0", via_node_index=2))
+    assert fetched.to_bytes() == reference
+    assert store.stats["hits_lustre"] == 10
+
+
+def test_fetch_detects_and_heals_corrupt_chunk():
+    env = Environment()
+    cluster = _mghpcc(env, name="rot")
+    store, image = _stored_and_replicated(env, cluster, seed=13)
+    manifest = store.manifest("p0", 1)
+    digest = manifest.digests()[0]
+    path = chunk_path(digest)
+    local_fs = cluster.nodes[0].local_disk.fs
+    good = local_fs.load(path)
+    local_fs.store(path, bytes([good[0] ^ 0xFF]) + good[1:],
+                   local_fs.logical_size(path))
+
+    fetched = _run(env, store.fetch_image("p0", via_node_index=0))
+    assert fetched.to_bytes() == image.to_bytes()
+    assert store.stats["corrupt_detected"] == 1
+    assert store.stats["healed"] == 1
+    # healed in place: the local copy verifies again
+    assert digest_bytes(local_fs.load(path)) == digest
+
+
+def test_fetch_raises_when_no_live_tier_holds_a_chunk():
+    env = Environment()
+    cluster = Cluster(env, BUFFALO_CCR, n_nodes=2, name="dead")
+    assert cluster.lustre_fs is None            # no shared tier to save us
+    store = CheckpointStore(cluster)
+    image = _capture(_memory(seed=17))
+    _run(env, store.put_image(rank=0, node_index=0, epoch=1, image=image))
+    store.schedule_replication(1)
+    _run(env, store.drain_replication())
+    cluster.nodes[0].fail()
+    cluster.nodes[1].fail()                     # partner replica dead too
+    with pytest.raises(StoreError, match="no live replica"):
+        _run(env, store.fetch_image("p0"))
+
+
+def test_latest_epoch_and_manifest_errors():
+    env = Environment()
+    store = CheckpointStore(_mghpcc(env, name="err"))
+    with pytest.raises(StoreError, match="no checkpoints"):
+        store.latest_epoch("ghost")
+    with pytest.raises(StoreError, match="no manifest"):
+        store.manifest("ghost", 1)
+
+
+# -- GC ------------------------------------------------------------------------
+
+def test_gc_retires_old_epochs_but_keeps_shared_chunks():
+    env = Environment()
+    cluster = _mghpcc(env, name="gc")
+    store = CheckpointStore(cluster, config=StoreConfig(retention=1))
+    mem = _memory(n_regions=4, seed=19)
+    _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                              image=_capture(mem)))
+    old = store.manifest("p0", 1)
+    region = next(iter(mem))
+    mem.write(region.addr, b"\xaa\xbb")         # 1 of 4 regions changes
+    _run(env, store.put_image(rank=0, node_index=0, epoch=2,
+                              image=_capture(mem)))
+    new = store.manifest("p0", 2)
+    local_fs = cluster.nodes[0].local_disk.fs
+    retired, deleted = store.collect_garbage()
+    assert retired == 1 and deleted == 1        # only the superseded chunk
+    assert not local_fs.exists(old.path)
+    with pytest.raises(StoreError):
+        store.manifest("p0", 1)
+    # every chunk the surviving epoch references is still there
+    for digest in new.digests():
+        assert local_fs.exists(chunk_path(digest))
+    assert store.latest_epoch("p0") == 2
+
+
+def test_gc_never_retires_the_latest_epoch():
+    env = Environment()
+    store = CheckpointStore(_mghpcc(env, name="keep1"),
+                            config=StoreConfig(retention=1))
+    image = _capture(_memory(seed=23))
+    _run(env, store.put_image(rank=0, node_index=0, epoch=1, image=image))
+    assert store.collect_garbage() == (0, 0)
+    assert store.latest_epoch("p0") == 1
+
+
+# -- staging and epoch continuity ---------------------------------------------
+
+def test_stage_resumes_epoch_numbering():
+    """After staging epoch-3 records, a fresh coordinator's epoch 1 must
+    land as absolute epoch 4 — not collide with the staged manifests."""
+    import types
+    env = Environment()
+    cluster = _mghpcc(env, name="offset")
+    store = CheckpointStore(cluster)
+    image = _capture(_memory(seed=29))
+    record = types.SimpleNamespace(image=image, name="p0", rank=0,
+                                   node_index=0, epoch=3,
+                                   path="/ignored")
+    store.ingest_record(record)
+    assert store.latest_epoch("p0") == 3
+    mem = _memory(seed=31)
+    result = _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                                       image=_capture(mem)))
+    assert result.epoch == 4
+    assert store.latest_epoch("p0") == 4
+
+
+def test_ingest_places_fully_replicated():
+    import types
+    env = Environment()
+    cluster = _mghpcc(env, name="ingest")
+    store = CheckpointStore(cluster)
+    image = _capture(_memory(seed=37))
+    record = types.SimpleNamespace(image=image, name="p0", rank=0,
+                                   node_index=1, epoch=2, path="/x")
+    manifest = store.ingest_record(record)
+    for digest in manifest.digests():
+        assert cluster.nodes[1].local_disk.fs.exists(chunk_path(digest))
+        partner_fs = cluster.nodes[manifest.partner_index].local_disk.fs
+        assert partner_fs.exists(chunk_path(digest))
+        assert cluster.lustre_fs.exists(chunk_path(digest))
+
+
+# -- observability -------------------------------------------------------------
+
+def test_store_spans_and_summary_under_tracer():
+    from repro.obs import store_summary, traced
+
+    env = Environment()
+    cluster = _mghpcc(env, name="obs")
+    with traced() as tracer:
+        store = CheckpointStore(cluster)
+        image = _capture(_memory(seed=41))
+        _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                                  image=image))
+        store.schedule_replication(1)
+        _run(env, store.drain_replication())
+        _run(env, store.fetch_image("p0"))
+    kinds = {e["kind"] for e in tracer.events}
+    assert {"store.put", "store.replicate", "store.fetch"} <= kinds
+    summary = store_summary(tracer.events)
+    assert summary["puts"] == 1 and summary["chunks_new"] == 10
+    assert summary["fetches"] == 1 and summary["hits_local"] == 10
+    assert summary["chunks_copied"] == 20
+    assert tracer.metrics.counter("store.chunks_new").value == 10
