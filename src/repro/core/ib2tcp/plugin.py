@@ -78,6 +78,19 @@ class Ib2TcpPlugin(Plugin):
     def ns_receive(self, db: Dict[str, Any]) -> None:
         self.db = db
 
+    def remap_evidence(self) -> Dict[str, bool]:
+        """The adopted InfiniBand plugin's re-virtualization evidence,
+        plus whether every connected queue pair was re-plumbed onto a TCP
+        endpoint (the §6.4 claim: same virtual ids, new transport)."""
+        evidence = self.ib.remap_evidence() if self.ib is not None else {
+            "qps_remapped": False, "mrs_remapped": False,
+            "lids_remapped": False}
+        connected = [vqp for vqp in (self.ib.qps if self.ib else ())
+                     if vqp.remote_vqpn is not None]
+        evidence["qps_replumbed"] = self.active and bool(connected) and all(
+            vqp.qp_num in self._txq_by_vqp for vqp in connected)
+        return evidence
+
     # -- restart replay ---------------------------------------------------------------
 
     def restart_replay(self) -> None:

@@ -371,6 +371,21 @@ class InfinibandPlugin(Plugin):
             return {"hca_vendor": self.contexts[0].vendor}
         return {}
 
+    def remap_evidence(self) -> Dict[str, bool]:
+        """Did the id re-virtualization actually happen after a restart?
+        True per class only when every live virtual object now fronts a
+        *different* real id than the one the application saw it under —
+        the §3.2.1 transparency evidence the fault harness and the
+        migration sweep both assert on."""
+        return {
+            "qps_remapped": bool(self.qps) and all(
+                vqp.qp_num != vqp.real.qp_num for vqp in self.qps),
+            "mrs_remapped": bool(self.mrs) and all(
+                vmr.rkey != vmr.real.rkey for vmr in self.mrs),
+            "lids_remapped": bool(self.contexts) and all(
+                vctx.vlid != vctx.real_lid for vctx in self.contexts),
+        }
+
     # -- restart phase 1: recreate resources -------------------------------------------------
 
     def _restart_recreate(self) -> None:

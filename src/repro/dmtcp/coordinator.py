@@ -162,8 +162,13 @@ class Coordinator:
 
         "Done" means the blocking portion of each process's write landed;
         a forked child may still be pushing the overlapped remainder (the
-        process serializes it against its next checkpoint locally)."""
-        assert intent in ("resume", "restart")
+        process serializes it against its next checkpoint locally).
+
+        ``intent="migrate"`` is the stop-and-copy capture of a live
+        migration: quiesce + drain + in-memory capture with *no* image
+        write — the migration manager ships the final dirty delta over
+        the wire itself, so nothing lands on any tier at this epoch."""
+        assert intent in ("resume", "restart", "migrate")
         self._ckpt_epoch += 1
         self._ckpt_stats = []
         self._ckpt_done_evt = self.env.event()

@@ -142,12 +142,14 @@ class DmtcpSession:
         intent="restart" — processes stay frozen; returns a CheckpointSet
         whose continuations dmtcp_restart can revive (tear the cluster down
         in between to model failure/migration).
+        intent="migrate" — like "restart" but nothing is written: the
+        images stay in memory for the migration manager's stop-and-copy.
         """
         t0 = self.env.now
         stats = yield from self.coordinator.checkpoint_all(intent)
         wall = self.env.now - t0
         records = [p.last_record for p in self.procs]
-        if intent == "restart":
+        if intent in ("restart", "migrate"):
             for proc in self.procs:
                 proc.detach_continuation()
         return CheckpointSet(records=records, wall_seconds=wall, stats=stats)
@@ -210,7 +212,8 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
                   stage_images: bool = True,
                   tracker: Optional[JobTracker] = None,
                   incremental: bool = False,
-                  ckpt_workers: int = 0, store=None) -> Generator:
+                  ckpt_workers: int = 0, store=None,
+                  preloaded: bool = False) -> Generator:
     """Process generator: restart a CheckpointSet on ``cluster`` (the same
     one or a different one — different LIDs, different qp_nums, possibly a
     different kernel or no InfiniBand at all).
@@ -218,11 +221,16 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
     With a ``store``, images are fetched chunk-by-chunk from the cheapest
     live tier (digest-verified) instead of read as monolithic files;
     ``stage_images`` then stages through the store, fully replicated.
+
+    ``preloaded`` skips both staging and the image read: the records'
+    in-memory images are restored directly.  That is the migration
+    manager's restart — the bytes already crossed the wire during
+    pre-copy/stop-and-copy, so charging a disk read would double-bill.
     """
     from ..ibverbs import VerbsLib
 
     env = cluster.env
-    if stage_images:
+    if stage_images and not preloaded:
         if store is not None:
             store.stage_from(ckpt_set, node_map)
         else:
@@ -243,7 +251,9 @@ def dmtcp_restart(cluster: Cluster, ckpt_set: CheckpointSet,
 
         def flow(record=record, host=host, node=node,
                  dst_index=dst_index):
-            if store is not None:
+            if preloaded:
+                image = record.image
+            elif store is not None:
                 image = yield from store.fetch_image(
                     record.name, epoch=record.epoch or None,
                     via_node_index=dst_index)

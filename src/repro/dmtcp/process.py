@@ -289,12 +289,21 @@ class DmtcpProcess:
         self._bg_write = None
         if self.monitor is not None:
             self.monitor.on_bg_write_join(self.name)
-            self.monitor.on_image_write(self.name, epoch)
+            if intent != "migrate":
+                self.monitor.on_image_write(self.name, epoch)
         stall = self.costs.gzip_stall_factor(self.ckpt_workers) \
             if self.gzip else 1.0
         abs_epoch = epoch
         put = None
-        if self.store is not None:
+        if intent == "migrate":
+            # stop-and-copy capture of a live migration: the image stays
+            # in memory and the migration manager ships the final dirty
+            # delta over the wire itself — no bytes land on any tier, so
+            # there is nothing to fork, dedup, or replicate at this epoch
+            bg_logical = 0.0
+            real_bytes = 0.0
+            path = ""
+        elif self.store is not None:
             # content-addressed landing: dedup stands in for the clean
             # regions' writes, and the partner/Lustre copies are the
             # coordinator-driven async replication — nothing to fork here

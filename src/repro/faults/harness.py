@@ -112,6 +112,7 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
                   schedule: Optional[FailureSchedule] = None,
                   max_attempts: int = 8, backoff_base: float = 0.5,
                   backoff_factor: float = 2.0, backoff_max: float = 8.0,
+                  backoff_jitter: float = 0.0,
                   disk_kind: str = "local", gzip: bool = True,
                   incremental: bool = False, ckpt_workers: int = 0,
                   use_store: bool = False,
@@ -158,11 +159,11 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
         incremental=incremental, ckpt_workers=ckpt_workers,
         use_store=use_store, max_attempts=max_attempts,
         backoff_base=backoff_base, backoff_factor=backoff_factor,
-        backoff_max=backoff_max)
+        backoff_max=backoff_max, backoff_jitter=backoff_jitter)
     manager = RecoveryManager(
         env, cluster_factory, specs_for, config, costs=costs,
         plugin_factory=lambda: [InfinibandPlugin(costs=costs)],
-        injector=injector)
+        injector=injector, rng=rng)
     with _maybe_monitored(analysis) as monitor, \
             _maybe_traced(trace) as tracer:
         recovery = env.run(until=env.process(manager.run()))
@@ -235,19 +236,17 @@ def verify_restart_path(seed: int = 2014, klass: str = "A",
     counters = {key: sum(p.stats[key] for p in plugins)
                 for key in ("reposted_sends", "reposted_recvs",
                             "replayed_modifies", "drained_completions")}
-    qps = [vqp for p in plugins for vqp in p.qps]
-    mrs = [vmr for p in plugins for vmr in p.mrs]
-    ctxs = [vctx for p in plugins for vctx in p.contexts]
+    evidence = [p.remap_evidence() for p in plugins]
     return {
         "crash": record,
         "results": results,
         "checksum": results[0].checksum,
         "counters": counters,
-        "qps_remapped": bool(qps) and all(
-            vqp.qp_num != vqp.real.qp_num for vqp in qps),
-        "mrs_remapped": bool(mrs) and all(
-            vmr.rkey != vmr.real.rkey for vmr in mrs),
-        "lids_remapped": bool(ctxs) and all(
-            vctx.vlid != vctx.real_lid for vctx in ctxs),
+        "qps_remapped": bool(evidence) and all(
+            e["qps_remapped"] for e in evidence),
+        "mrs_remapped": bool(evidence) and all(
+            e["mrs_remapped"] for e in evidence),
+        "lids_remapped": bool(evidence) and all(
+            e["lids_remapped"] for e in evidence),
         "protocol": monitor.summary() if monitor is not None else None,
     }

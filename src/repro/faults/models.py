@@ -23,7 +23,8 @@ __all__ = ["AppliedFailure", "FAILURE_KINDS", "FATAL_KINDS",
            "SILENT_KINDS", "apply_failure"]
 
 FATAL_KINDS = frozenset({"node-crash", "hca-fail", "link-partition"})
-TRANSIENT_KINDS = frozenset({"link-degrade", "straggler"})
+TRANSIENT_KINDS = frozenset({"link-degrade", "straggler",
+                             "lustre-brownout"})
 SILENT_KINDS = frozenset({"ckpt-corrupt"})
 FAILURE_KINDS = FATAL_KINDS | TRANSIENT_KINDS | SILENT_KINDS
 
@@ -111,6 +112,28 @@ def apply_failure(cluster: Cluster, event: FailureEvent) -> AppliedFailure:
         return AppliedFailure(
             f"{fs.name}: corrupted chunk {path} ({tier} tier)",
             fatal=False)
+
+    if kind == "lustre-brownout":
+        # the shared tier's MDS/OST partition stops answering: every
+        # client sees the whole tier dead (LustreTier.alive) until the
+        # servers come back.  Data at rest is untouched — a post-copy
+        # pager just has to outwait the brownout (or fall back to a
+        # cheaper tier holding the chunk).
+        if cluster.lustre_fs is None:
+            return AppliedFailure(
+                f"{cluster.name}: no Lustre tier to brown out", False)
+        duration = float(event.params.get("duration", 1.0))
+        if getattr(cluster, "lustre_down", False):
+            return AppliedFailure(
+                f"{cluster.name}: Lustre already browned out", False)
+        cluster.lustre_down = True
+
+        def heal():
+            cluster.lustre_down = False
+
+        return AppliedFailure(
+            f"{cluster.name}: Lustre brownout for {duration:.3g}s",
+            fatal=False, heal=heal, heal_after=duration)
 
     if kind == "straggler":
         factor = float(event.params.get("factor", 4.0))

@@ -243,6 +243,10 @@ class RecoveryConfig:
     backoff_base: float = 2.0        # first retry delay (seconds)
     backoff_factor: float = 2.0      # growth per consecutive failure
     backoff_max: float = 60.0
+    #: relative jitter on each backoff delay (0.1 = ±10%), drawn from the
+    #: manager's seeded ``faults/`` RNG stream so chaos runs with retries
+    #: stay bit-identical across reruns; 0.0 keeps delays exact
+    backoff_jitter: float = 0.0
 
 
 @dataclass
@@ -295,7 +299,7 @@ class RecoveryManager:
                  costs: CostModel = DEFAULT_COSTS,
                  plugin_factory: Callable[[], list] = lambda: [],
                  injector: Optional[Injector] = None,
-                 name: str = "chaos"):
+                 name: str = "chaos", rng=None):
         self.env = env
         self.cluster_factory = cluster_factory
         self.specs_for = specs_for
@@ -304,17 +308,41 @@ class RecoveryManager:
         self.plugin_factory = plugin_factory
         self.injector = injector
         self.name = name
+        #: seeded RngFactory for the backoff jitter draws; with no rng (or
+        #: backoff_jitter=0.0) every delay is exact and draw-free
+        self.rng = rng
+        self._backoff_stream = None
         self.gate = ChaosGate(env)
 
     # -- bookkeeping -----------------------------------------------------------
 
-    def _mark(self, outcome: RecoveryOutcome, kind: str,
+    def _mark(self, outcome: Optional[RecoveryOutcome], kind: str,
               detail: str) -> None:
-        outcome.timeline.append(
-            TimelineEvent(t=self.env.now, kind=kind, detail=detail))
+        if outcome is not None:
+            outcome.timeline.append(
+                TimelineEvent(t=self.env.now, kind=kind, detail=detail))
         if self.tracer is not None:
             self.tracer.emit(f"harness.{kind}", self.name, self.env.now,
                              detail=detail)
+
+    def _backoff(self, consecutive_failures: int) -> float:
+        """The k-th consecutive retry's delay: capped exponential, with
+        optional relative jitter drawn from the reserved ``faults/`` RNG
+        namespace — a named stream, so enabling jitter never perturbs the
+        injector's (or anything else's) draws, and same-seed chaos runs
+        with retries stay bit-identical."""
+        cfg = self.config
+        backoff = min(
+            cfg.backoff_max,
+            cfg.backoff_base
+            * cfg.backoff_factor ** (consecutive_failures - 1))
+        if cfg.backoff_jitter > 0.0 and self.rng is not None:
+            if self._backoff_stream is None:
+                self._backoff_stream = self.rng.fault_stream(
+                    f"recovery/{self.name}/backoff")
+            backoff *= 1.0 + cfg.backoff_jitter \
+                * float(self._backoff_stream.uniform(-1.0, 1.0))
+        return backoff
 
     def _plugins(self) -> list:
         return list(self.plugin_factory()) + [ChaosPlugin(self.gate)]
@@ -478,10 +506,64 @@ class RecoveryManager:
                 raise RecoveryError(
                     f"recovery abandoned after {consecutive_failures} "
                     f"consecutive failures", outcome)
-            backoff = min(
-                cfg.backoff_max,
-                cfg.backoff_base
-                * cfg.backoff_factor ** (consecutive_failures - 1))
+            backoff = self._backoff(consecutive_failures)
             outcome.backoff_seconds += backoff
             self._mark(outcome, "backoff", f"{backoff:.3g}s")
             yield env.timeout(backoff)
+
+    # -- migration as a recovery action ----------------------------------------
+
+    def supervise_migration(self, session: DmtcpSession,
+                            target_factory: Callable[[str], Cluster],
+                            mig_config=None,
+                            node_map: Optional[dict] = None,
+                            outcome: Optional[RecoveryOutcome] = None
+                            ) -> Generator:
+        """Process generator: drive a live pre-copy migration of
+        ``session``, retrying with the supervisor's capped-exponential
+        (optionally jittered) backoff when the move fails *before* the
+        point of no return.
+
+        :class:`~repro.migrate.MigrationError` is only ever raised while
+        the source job is still running (target crashes are detected at
+        round boundaries and re-checked immediately before the freeze),
+        so each retry simply builds a fresh target cluster and pre-copies
+        again — the dirty tracking starts over, the application never
+        notices.  Returns the successful attempt's
+        :class:`~repro.migrate.MigrationResult`."""
+        from ..migrate import MigrationError, MigrationManager
+        cfg = self.config
+        attempt = 0
+        while True:
+            attempt += 1
+            target = target_factory(f"m{attempt}")
+            if self.injector is not None:
+                self.injector.set_target(target)
+            manager = MigrationManager(session, target, config=mig_config,
+                                       node_map=node_map)
+            flow = self.env.process(_safe(manager.migrate()),
+                                    name=f"{self.name}.migrate.a{attempt}")
+            status, value = yield flow
+            if status == "ok":
+                self._mark(outcome, "migrate",
+                           f"attempt {attempt}: downtime "
+                           f"{value.downtime_seconds:.3f}s")
+                return value
+            if not isinstance(value, MigrationError):
+                raise value
+            if self.injector is not None:
+                self.injector.clear_target()
+            target.teardown()
+            if outcome is not None:
+                outcome.n_failures += 1
+            self._mark(outcome, "failure",
+                       f"migration attempt {attempt}: {value}")
+            if attempt > cfg.max_attempts:
+                raise RecoveryError(
+                    f"migration abandoned after {attempt} attempt(s)",
+                    outcome if outcome is not None else RecoveryOutcome())
+            backoff = self._backoff(attempt)
+            if outcome is not None:
+                outcome.backoff_seconds += backoff
+            self._mark(outcome, "backoff", f"{backoff:.3g}s")
+            yield self.env.timeout(backoff)

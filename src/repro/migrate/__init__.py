@@ -1,0 +1,39 @@
+"""Live migration, post-copy restart, and elastic rank remapping.
+
+The checkpoint machinery already separates *capturing* a consistent
+global cut from *paying* for it (write, stage, read).  This package
+exploits that split three ways:
+
+* **live pre-copy** (:class:`MigrationManager`) — iterative dirty-region
+  rounds ship the image while the application runs; the coordinated
+  freeze at the end pays only for the final residue, so downtime is
+  strictly below a full checkpoint+restart cycle.
+* **post-copy restart** (:func:`postcopy_restart`) — resume compute
+  immediately after restoring manifests and demand-page each region's
+  store read on first touch, with a background prefetcher.
+* **elastic restart** (:func:`elastic_restart`) — N frozen ranks onto
+  M nodes, because every application-visible id is virtual.
+"""
+
+from .chaos import (run_baseline_lu, run_cycle_lu, run_elastic_lu,
+                    run_postcopy_lu, run_precopy_lu)
+from .elastic import elastic_node_map, elastic_restart
+from .manager import (MigrationConfig, MigrationError, MigrationManager,
+                      MigrationResult)
+from .postcopy import PostCopyPager, postcopy_restart
+
+__all__ = [
+    "MigrationConfig",
+    "MigrationError",
+    "MigrationManager",
+    "MigrationResult",
+    "PostCopyPager",
+    "elastic_node_map",
+    "elastic_restart",
+    "postcopy_restart",
+    "run_baseline_lu",
+    "run_cycle_lu",
+    "run_elastic_lu",
+    "run_postcopy_lu",
+    "run_precopy_lu",
+]

@@ -22,7 +22,8 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .report import (decompose, render, render_store, store_summary,
+from .report import (decompose, migration_summary, render,
+                     render_migration, render_store, store_summary,
                      trace_scenario)
 from .trace import (
     Tracer,
@@ -46,7 +47,9 @@ __all__ = [
     "decompose",
     "install_tracer",
     "load_trace",
+    "migration_summary",
     "render",
+    "render_migration",
     "render_store",
     "split_segments",
     "store_summary",

@@ -27,6 +27,18 @@ ProtocolMonitor` cannot see because it records no timeline:
     image write of the same process in the same job generation — the
     writer must be joined first, or torn region bytes could interleave.
 
+``precopy-shrink``
+    Within one live migration, the transferred pre-copy rounds carry
+    monotonically non-increasing dirty-byte counts: the
+    :class:`~repro.migrate.MigrationManager` never ships a round whose
+    residue stopped shrinking (it belongs to the stop-and-copy).
+
+``pagein-before-compute``
+    A post-copy restart never runs a compute tick while a faulted
+    region's page-in is still outstanding on the same process: every
+    ``migrate.fault`` is closed by a ``migrate.pagein`` end before the
+    next ``migrate.compute``.
+
 Traces may span several :class:`~repro.sim.Environment` instances (one
 per scenario, or per chaos generation in tests that build fresh
 environments): the simulated clock then restarts from zero.  Checks are
@@ -34,8 +46,9 @@ applied per *segment* — a maximal run of events whose sim timestamps
 are non-decreasing — so cross-environment history never false-positives.
 
 When the tracer's ring overflowed (``dropped > 0``), the history-
-dependent checks (``capture-after-quiesce``, ``writer-quiesce``) are
-skipped; the self-contained per-record checks still run.
+dependent checks (``capture-after-quiesce``, ``writer-quiesce``,
+``precopy-shrink``, ``pagein-before-compute``) are skipped; the
+self-contained per-record checks still run.
 """
 
 from __future__ import annotations
@@ -156,6 +169,48 @@ def _check_writer_quiesce(segment, violations) -> None:
                     "still live")
 
 
+def _check_precopy_shrink(segment, violations) -> None:
+    # per migrating proc: the previous transferred round's byte count,
+    # reset at each migrate span begin (a retry starts dirty tracking
+    # over, so its round 1 may legitimately exceed the aborted attempt's
+    # last round)
+    prev_bytes: Dict[str, float] = {}
+    for event in segment:
+        kind, ev, proc = event["kind"], event["ev"], event["proc"]
+        if kind == "migrate" and ev == "B":
+            prev_bytes.pop(proc, None)
+        elif kind == "migrate.precopy.round" and ev == "B":
+            nbytes = float(event.get("bytes", 0.0))
+            prev = prev_bytes.get(proc)
+            if prev is not None and nbytes > prev + _T_EPS:
+                violations.append(
+                    f"[precopy-shrink] {proc} round "
+                    f"{event.get('round')} shipped {nbytes:.0f} dirty "
+                    f"bytes at t={event.get('t', 0.0):.6f}, more than "
+                    f"the previous round's {prev:.0f} — a non-shrinking "
+                    "residue must ride the stop-and-copy")
+            prev_bytes[proc] = nbytes
+
+
+def _check_pagein_before_compute(segment, violations) -> None:
+    # per proc: faulted regions whose page-in has not ended yet
+    outstanding: Dict[str, set] = {}
+    for event in segment:
+        kind, ev, proc = event["kind"], event["ev"], event["proc"]
+        if kind == "migrate.fault":
+            outstanding.setdefault(proc, set()).add(event.get("region"))
+        elif kind == "migrate.pagein" and ev == "E":
+            outstanding.get(proc, set()).discard(event.get("region"))
+        elif kind == "migrate.compute":
+            pending = outstanding.get(proc)
+            if pending:
+                names = ", ".join(sorted(map(str, pending))[:4])
+                violations.append(
+                    f"[pagein-before-compute] {proc} ran a compute tick "
+                    f"at t={event.get('t', 0.0):.6f} with {len(pending)} "
+                    f"faulted region(s) not yet paged in ({names})")
+
+
 def check_trace_invariants(events: List[Dict[str, Any]],
                            dropped: int = 0) -> List[str]:
     """Return every invariant violation found in ``events`` (empty list
@@ -166,6 +221,8 @@ def check_trace_invariants(events: List[Dict[str, Any]],
         if dropped == 0:
             _check_capture_after_quiesce(segment, violations)
             _check_writer_quiesce(segment, violations)
+            _check_precopy_shrink(segment, violations)
+            _check_pagein_before_compute(segment, violations)
         _check_refill_before_real(segment, violations)
         _check_replay_balance(segment, violations)
     return violations

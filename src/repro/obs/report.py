@@ -26,8 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-__all__ = ["decompose", "render", "render_store", "store_summary",
-           "trace_scenario"]
+__all__ = ["decompose", "migration_summary", "render", "render_migration",
+           "render_store", "store_summary", "trace_scenario"]
 
 _PHASES = ("quiesce", "drain", "capture", "compress", "write",
            "refill", "replay")
@@ -215,6 +215,91 @@ def render_store(summary: Dict[str, Any]) -> str:
         f"detected, {summary['healed']} healed; "
         f"gc retired {summary['gc_manifests']} manifest(s) / "
         f"{summary['gc_chunks']} chunk file(s)",
+    ]
+    return "\n".join(lines)
+
+
+def migration_summary(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate the ``migrate.*`` records of a trace: completed and
+    aborted migrations, pre-copy volume, the stop-and-copy downtime
+    decomposed into freeze (quiesce+drain+capture, the nested ``ckpt``
+    span) vs. wire+restart, and post-copy paging traffic.  Empty trace →
+    all-zero dict, so the caller can key "did a migration run" off
+    ``migrations``."""
+    summary = {
+        "migrations": 0, "aborted": 0, "rounds": 0,
+        "round_bytes": [], "precopy_bytes": 0.0, "precopy_seconds": 0.0,
+        "stopcopy_bytes": 0.0, "downtime_seconds": 0.0,
+        "freeze_seconds": 0.0, "xfer_restart_seconds": 0.0,
+        "faults": 0, "pageins": 0, "prefetches": 0, "retries": 0,
+        "elastic": 0,
+    }
+    open_stop: Optional[Dict[str, float]] = None
+    for event in events:
+        kind, ev = event["kind"], event["ev"]
+        if kind == "migrate" and ev == "E":
+            if event.get("aborted"):
+                summary["aborted"] += 1
+            else:
+                summary["migrations"] += 1
+                summary["rounds"] += event.get("rounds", 0)
+                summary["precopy_bytes"] += event.get("precopy_bytes", 0.0)
+                summary["stopcopy_bytes"] += event.get(
+                    "stopcopy_bytes", 0.0)
+        elif kind == "migrate.precopy.round":
+            if ev == "B":
+                summary["round_bytes"].append(event.get("bytes", 0.0))
+            else:
+                summary["precopy_seconds"] += event.get("dur", 0.0)
+        elif kind == "migrate.stopcopy":
+            if ev == "B":
+                open_stop = {"freeze": 0.0}
+            else:
+                downtime = event.get("downtime", event.get("dur", 0.0))
+                summary["downtime_seconds"] += downtime
+                freeze = open_stop["freeze"] if open_stop else 0.0
+                summary["freeze_seconds"] += freeze
+                summary["xfer_restart_seconds"] += max(0.0,
+                                                       downtime - freeze)
+                open_stop = None
+        elif kind == "ckpt" and ev == "E" and open_stop is not None:
+            # the ranks freeze concurrently: the downtime's freeze share
+            # is the slowest rank's checkpoint span, not the sum
+            open_stop["freeze"] = max(open_stop["freeze"],
+                                      event.get("dur", 0.0))
+        elif kind == "migrate.fault":
+            summary["faults"] += 1
+        elif kind == "migrate.pagein" and ev == "E":
+            if event.get("mode") == "prefetch":
+                summary["prefetches"] += 1
+            else:
+                summary["pageins"] += 1
+        elif kind == "migrate.pagein.retry":
+            summary["retries"] += 1
+        elif kind == "migrate.elastic":
+            summary["elastic"] += 1
+    return summary
+
+
+def render_migration(summary: Dict[str, Any]) -> str:
+    """Format a :func:`migration_summary` as a short text block."""
+    rounds = ", ".join(f"{b / 1e6:.2f}" for b in summary["round_bytes"])
+    lines = [
+        f"migrations: {summary['migrations']} completed, "
+        f"{summary['aborted']} aborted — "
+        f"{summary['rounds']} pre-copy round(s) shipped "
+        f"{summary['precopy_bytes'] / 1e6:.2f} MB in "
+        f"{summary['precopy_seconds']:.4f}s (sim) "
+        f"[per round MB: {rounds}]",
+        f"  downtime: {summary['downtime_seconds']:.4f}s = "
+        f"freeze {summary['freeze_seconds']:.4f}s + "
+        f"wire+restart {summary['xfer_restart_seconds']:.4f}s "
+        f"({summary['stopcopy_bytes'] / 1e6:.2f} MB residue)",
+        f"  post-copy: {summary['faults']} fault(s), "
+        f"{summary['pageins']} demand page-in(s), "
+        f"{summary['prefetches']} prefetched, "
+        f"{summary['retries']} retry(ies); "
+        f"elastic remap(s): {summary['elastic']}",
     ]
     return "\n".join(lines)
 

@@ -4,10 +4,10 @@ and wall-clock timestamps.
 The tracer is attached exactly like :class:`~repro.analysis.protocol.
 ProtocolMonitor`: a ``tracer`` class attribute on the instrumented
 classes (``InfinibandPlugin``, ``DmtcpProcess``, ``Coordinator``,
-``RecoveryManager``, ``Injector``, ``CheckpointStore``), installed
-class-wide by
-:func:`install_tracer` — ``core``/``dmtcp``/``faults`` never import
-``obs``.  ``None`` costs one attribute read per hook site.
+``RecoveryManager``, ``Injector``, ``CheckpointStore``,
+``MigrationManager``, ``PostCopyPager``), installed class-wide by
+:func:`install_tracer` — ``core``/``dmtcp``/``faults``/``migrate`` never
+import ``obs``.  ``None`` costs one attribute read per hook site.
 
 Timestamp discipline: instrumented code passes its *simulated* clock
 reading (``env.now``) explicitly as ``t_sim``; the tracer stamps the
@@ -191,26 +191,32 @@ def install_tracer(tracer: Tracer) -> Tuple[Any, ...]:
     from ..dmtcp.process import DmtcpProcess
     from ..faults.injector import Injector
     from ..faults.recovery import RecoveryManager
+    from ..migrate.manager import MigrationManager
+    from ..migrate.postcopy import PostCopyPager
     from ..store.store import CheckpointStore
 
     classes = (InfinibandPlugin, DmtcpProcess, Coordinator,
-               RecoveryManager, Injector, CheckpointStore)
+               RecoveryManager, Injector, CheckpointStore,
+               MigrationManager, PostCopyPager)
     prev = tuple(klass.tracer for klass in classes)
     for klass in classes:
         klass.tracer = tracer
     return prev
 
 
-def uninstall_tracer(prev: Tuple[Any, ...] = (None,) * 6) -> None:
+def uninstall_tracer(prev: Tuple[Any, ...] = (None,) * 8) -> None:
     from ..core.ib_plugin.plugin import InfinibandPlugin
     from ..dmtcp.coordinator import Coordinator
     from ..dmtcp.process import DmtcpProcess
     from ..faults.injector import Injector
     from ..faults.recovery import RecoveryManager
+    from ..migrate.manager import MigrationManager
+    from ..migrate.postcopy import PostCopyPager
     from ..store.store import CheckpointStore
 
     classes = (InfinibandPlugin, DmtcpProcess, Coordinator,
-               RecoveryManager, Injector, CheckpointStore)
+               RecoveryManager, Injector, CheckpointStore,
+               MigrationManager, PostCopyPager)
     for klass, tracer in zip(classes, prev):
         klass.tracer = tracer
 

@@ -392,64 +392,76 @@ class CheckpointStore:
             order.append(("lustre", self.lustre.replica_fs(via_index),
                           self.lustre.replica_disk(manifest.node_index,
                                                    via_index=via_index),
-                          not self.cluster.nodes[via_index].failed))
+                          not self.cluster.nodes[via_index].failed
+                          and self.lustre.alive(via_index)))
         return order
+
+    def fetch_chunk(self, manifest: Manifest, ref: ChunkRef,
+                    via_node_index: int = 0) -> Generator:
+        """Process generator: resolve *one* chunk from the cheapest live
+        tier, charging the read to that tier's disk.  Digest-verified
+        (``config.verify_digests``); a corrupt copy is skipped, served
+        from the next replica, and healed in place.  Returns
+        ``(data, tier_kind)``; raises :class:`StoreError` when no live
+        tier holds a valid copy.  This is the unit of work the restart
+        fetch and the post-copy pager/prefetcher share."""
+        tracer = self.tracer
+        proc_name = manifest.proc_name
+        epoch = manifest.epoch
+        path = chunk_path(ref.digest)
+        corrupt_sites = []
+        for kind, fs, disk, alive in self._fetch_order(manifest,
+                                                       via_node_index):
+            if not alive or not fs.exists(path):
+                continue
+            blob = yield from disk.read(path)
+            if self.config.verify_digests \
+                    and digest_bytes(blob) != ref.digest:
+                # silent corruption caught by the content address
+                self.stats["corrupt_detected"] += 1
+                corrupt_sites.append(fs)
+                if tracer is not None:
+                    tracer.emit("store.corrupt", proc_name,
+                                self.env.now, tier=kind,
+                                region=ref.region_name, epoch=epoch)
+                continue
+            for site in corrupt_sites:
+                # heal: overwrite the rotten copy with the verified bytes
+                site.store(path, blob, ref.logical_bytes)
+                self.stats["healed"] += 1
+                if tracer is not None:
+                    tracer.emit("store.heal", proc_name, self.env.now,
+                                fs=site.name, region=ref.region_name,
+                                epoch=epoch)
+            self.stats[f"hits_{kind}"] += 1
+            if tracer is not None:
+                tracer.metrics.counter(f"store.fetch.{kind}").inc()
+            return blob, kind
+        raise StoreError(
+            f"{self.name}: no live replica of chunk "
+            f"{ref.digest.hex()} ({proc_name}/{ref.region_name}, "
+            f"epoch {epoch})")
 
     def fetch_image(self, proc_name: str, epoch: Optional[int] = None,
                     via_node_index: int = 0) -> Generator:
         """Process generator: reassemble a bit-identical
-        :class:`CheckpointImage`, resolving each chunk from the cheapest
-        live tier.  Every read is digest-verified (``config.
-        verify_digests``); a corrupt copy is skipped, served from the
-        next replica, and healed in place.  Raises :class:`StoreError`
-        when no live tier holds a valid copy of some chunk."""
+        :class:`CheckpointImage`, resolving each chunk through
+        :meth:`fetch_chunk` (cheapest live tier, digest-verified,
+        heal-on-corrupt).  Raises :class:`StoreError` when no live tier
+        holds a valid copy of some chunk."""
         if epoch is None:
             epoch = self.latest_epoch(proc_name)
         manifest = self.manifest(proc_name, epoch)
         tracer = self.tracer
-        order = self._fetch_order(manifest, via_node_index)
         hits = {"local": 0, "partner": 0, "lustre": 0}
         span = None if tracer is None else tracer.begin(
             "store.fetch", proc_name, self.env.now, epoch=epoch,
             via=via_node_index, chunks=len(manifest.chunks))
         regions = []
         for ref in manifest.chunks:
-            path = chunk_path(ref.digest)
-            data = None
-            corrupt_sites = []
-            for kind, fs, disk, alive in order:
-                if not alive or not fs.exists(path):
-                    continue
-                blob = yield from disk.read(path)
-                if self.config.verify_digests \
-                        and digest_bytes(blob) != ref.digest:
-                    # silent corruption caught by the content address
-                    self.stats["corrupt_detected"] += 1
-                    corrupt_sites.append(fs)
-                    if tracer is not None:
-                        tracer.emit("store.corrupt", proc_name,
-                                    self.env.now, tier=kind,
-                                    region=ref.region_name, epoch=epoch)
-                    continue
-                data = blob
-                hits[kind] += 1
-                self.stats[f"hits_{kind}"] += 1
-                if tracer is not None:
-                    tracer.metrics.counter(f"store.fetch.{kind}").inc()
-                break
-            if data is None:
-                raise StoreError(
-                    f"{self.name}: no live replica of chunk "
-                    f"{ref.digest.hex()} ({proc_name}/{ref.region_name}, "
-                    f"epoch {epoch})")
-            for fs in corrupt_sites:
-                # heal: overwrite the rotten copy with the verified bytes
-                fs.store(path, data, ref.logical_bytes)
-                self.stats["healed"] += 1
-                if tracer is not None:
-                    tracer.emit("store.heal", proc_name, self.env.now,
-                                fs=fs.name, region=ref.region_name,
-                                epoch=epoch)
+            data, kind = yield from self.fetch_chunk(manifest, ref,
+                                                     via_node_index)
+            hits[kind] += 1
             regions.append({
                 "name": ref.region_name, "addr": ref.addr,
                 "size": ref.size, "repr_scale": ref.repr_scale,
@@ -460,6 +472,47 @@ class CheckpointStore:
             tracer.end(span, self.env.now, hits_local=hits["local"],
                        hits_partner=hits["partner"],
                        hits_lustre=hits["lustre"])
+        snap = {"name": manifest.memory_name,
+                "next_addr": manifest.next_addr, "regions": regions}
+        return CheckpointImage(memory_snapshot=snap, **manifest.header)
+
+    def materialize_image(self, proc_name: str,
+                          epoch: Optional[int] = None,
+                          via_node_index: int = 0) -> CheckpointImage:
+        """Zero-time analogue of :meth:`fetch_image` for the post-copy
+        split: the restarted process needs every region's *bytes* up
+        front (so checksums stay bit-identical), while the *time* of
+        each read is charged lazily when the pager services the first
+        touch (:meth:`fetch_chunk`).  Digest-verified like any fetch;
+        raises :class:`StoreError` when no live tier holds a valid copy
+        of some chunk."""
+        if epoch is None:
+            epoch = self.latest_epoch(proc_name)
+        manifest = self.manifest(proc_name, epoch)
+        regions = []
+        for ref in manifest.chunks:
+            path = chunk_path(ref.digest)
+            data = None
+            for _kind, fs, _disk, alive in self._fetch_order(
+                    manifest, via_node_index):
+                if not alive or not fs.exists(path):
+                    continue
+                blob = fs.load(path)
+                if self.config.verify_digests \
+                        and digest_bytes(blob) != ref.digest:
+                    continue
+                data = blob
+                break
+            if data is None:
+                raise StoreError(
+                    f"{self.name}: no live replica of chunk "
+                    f"{ref.digest.hex()} ({proc_name}/{ref.region_name}, "
+                    f"epoch {epoch})")
+            regions.append({
+                "name": ref.region_name, "addr": ref.addr,
+                "size": ref.size, "repr_scale": ref.repr_scale,
+                "tag": ref.tag, "data": data,
+            })
         snap = {"name": manifest.memory_name,
                 "next_addr": manifest.next_addr, "regions": regions}
         return CheckpointImage(memory_snapshot=snap, **manifest.header)
@@ -487,10 +540,14 @@ class CheckpointStore:
     # -- staging (offline, like CheckpointSet.stage_to) ------------------------
 
     def ingest_record(self, record, node_map: Optional[Dict[int, int]]
-                      = None) -> Manifest:
+                      = None, tiers: Optional[Tuple[str, ...]] = None
+                      ) -> Manifest:
         """Offline scp analogue: place one checkpoint record's chunks and
         manifest on every tier of this store's cluster (no sim time; the
-        §6.4 staging step is not part of any measured interval)."""
+        §6.4 staging step is not part of any measured interval).
+        ``tiers`` restricts placement to a subset of ``("local",
+        "partner", "lustre")`` — e.g. lustre-only staging for post-copy
+        restarts that should fault everything across the shared tier."""
         image = record.image
         epoch = (getattr(record, "epoch", 0) or 1)
         dst_index = (node_map or {}).get(
@@ -499,11 +556,15 @@ class CheckpointStore:
         manifest = self._manifest_for(image, record.rank, dst_index, epoch,
                                       [ref for ref, _data in pairs])
         blob = manifest.to_bytes()
-        tier_fss = [self.local.replica_fs(dst_index)]
-        if self.partner is not None \
+        wanted = tiers if tiers is not None \
+            else ("local", "partner", "lustre")
+        tier_fss = []
+        if "local" in wanted:
+            tier_fss.append(self.local.replica_fs(dst_index))
+        if "partner" in wanted and self.partner is not None \
                 and not self.partner.degenerate(dst_index):
             tier_fss.append(self.partner.replica_fs(dst_index))
-        if self.lustre is not None:
+        if "lustre" in wanted and self.lustre is not None:
             tier_fss.append(self.lustre.replica_fs(dst_index))
         for fs in tier_fss:
             for ref, data in pairs:
@@ -517,9 +578,10 @@ class CheckpointStore:
         return manifest
 
     def stage_from(self, ckpt_set, node_map: Optional[Dict[int, int]]
-                   = None) -> None:
+                   = None, tiers: Optional[Tuple[str, ...]] = None) -> None:
         """Stage a whole :class:`~repro.dmtcp.launcher.CheckpointSet` onto
-        this store's cluster, fully replicated.  Future put/replication
-        epochs resume past the staged numbering."""
+        this store's cluster, fully replicated (or onto the ``tiers``
+        subset).  Future put/replication epochs resume past the staged
+        numbering."""
         for record in ckpt_set.records:
-            self.ingest_record(record, node_map)
+            self.ingest_record(record, node_map, tiers=tiers)

@@ -98,8 +98,10 @@ class LustreTier:
     def alive(self, node_index: int) -> bool:
         # the backing OSTs are off the compute partition: node crashes
         # never take the tier down (a dead *client* just can't reach it,
-        # which replica_disk's caller checks on the via node)
-        return True
+        # which replica_disk's caller checks on the via node).  A
+        # transient ``lustre-brownout`` fault blacks the whole tier out
+        # until its heal timer resets the flag.
+        return not getattr(self.cluster, "lustre_down", False)
 
 
 def tiers_for(cluster: Cluster, partner_offset: int = 1) -> List:

@@ -79,9 +79,22 @@ def ft_crash_restart_trace():
     return out.trace_events
 
 
+def lu_precopy_migration_trace():
+    """Canonical live migration: the LU job pre-copied over three forced
+    rounds, frozen with intent=migrate, and revived preloaded on the
+    target — pins the migrate/migrate.precopy.round/migrate.stopcopy
+    span schema and their ordering."""
+    from repro.migrate import run_precopy_lu
+    out = run_precopy_lu(seed=2014, nprocs=2, iters_sim=4, rounds=3,
+                         trace=True)
+    assert out["rounds"] == 3
+    return out["trace_events"]
+
+
 SCENARIOS = {
     "pingpong_ckpt_restart": pingpong_ckpt_restart_trace,
     "ft_crash_restart": ft_crash_restart_trace,
+    "lu_precopy_migration": lu_precopy_migration_trace,
 }
 
 

@@ -307,6 +307,83 @@ def test_stage_resumes_epoch_numbering():
     assert store.latest_epoch("p0") == 4
 
 
+def test_epoch_offset_compounds_across_two_staged_restarts():
+    """Restart of a restart: generation 1 dies at epoch 3, generation 2
+    stages it and checkpoints (epoch 4), dies in turn, generation 3
+    stages *that* — each fresh coordinator counts from 1 again, so the
+    offsets must compound (3 → 4 → 5), never collide."""
+    import types
+    env = Environment()
+    store2 = CheckpointStore(_mghpcc(env, name="offset-gen2"))
+    store2.ingest_record(types.SimpleNamespace(
+        image=_capture(_memory(seed=43)), name="p0", rank=0,
+        node_index=0, epoch=3, path="/ignored"))
+    assert store2._epoch_offset == 3
+    mem = _memory(seed=47)
+    gen2 = _run(env, store2.put_image(rank=0, node_index=0, epoch=1,
+                                      image=_capture(mem)))
+    assert gen2.epoch == 4 and store2.latest_epoch("p0") == 4
+
+    # generation 3: a fresh cluster and store stage generation 2's
+    # latest image (absolute epoch 4) and checkpoint from 1 again
+    env3 = Environment()
+    store3 = CheckpointStore(_mghpcc(env3, name="offset-gen3"))
+    store3.ingest_record(types.SimpleNamespace(
+        image=_capture(mem), name="p0", rank=0, node_index=0,
+        epoch=gen2.epoch, path="/ignored"))
+    assert store3._epoch_offset == 4
+    gen3 = _run(env3, store3.put_image(rank=0, node_index=0, epoch=1,
+                                       image=_capture(_memory(seed=53))))
+    assert gen3.epoch == 5 and store3.latest_epoch("p0") == 5
+    # the offset is global (max over everything staged), so a sibling
+    # rank staged at an older epoch shares the same numbering
+    store3.ingest_record(types.SimpleNamespace(
+        image=_capture(_memory(seed=59), name="p1"), name="p1", rank=1,
+        node_index=1, epoch=2, path="/ignored"))
+    assert store3._epoch_offset == 4
+    sibling = _run(env3, store3.put_image(rank=1, node_index=1, epoch=1,
+                                          image=_capture(_memory(seed=61),
+                                                         name="p1")))
+    assert sibling.epoch == 5
+
+
+def test_gc_retention_races_concurrent_tier_walking_restart():
+    """GC fires while a restart is mid-fetch, walking tiers chunk by
+    chunk.  Retention only retires chunks unreferenced by surviving
+    epochs, so the in-flight fetch of the latest epoch completes
+    bit-identical and digest-clean even though the superseded epoch
+    vanished under it."""
+    env = Environment()
+    cluster = _mghpcc(env, name="gc-race")
+    store = CheckpointStore(cluster, config=StoreConfig(retention=1))
+    mem = _memory(n_regions=8, region_bytes=1 << 20, seed=67)
+    _run(env, store.put_image(rank=0, node_index=0, epoch=1,
+                              image=_capture(mem)))
+    region = next(iter(mem))
+    mem.write(region.addr, b"\xde\xad\xbe\xef")  # 1 of 8 regions moves
+    _run(env, store.put_image(rank=0, node_index=0, epoch=2,
+                              image=_capture(mem)))
+    expected = {r["name"]: r["data"]
+                for r in _capture(mem).memory_snapshot["regions"]}
+
+    def racing_restart():
+        fetch = env.process(store.fetch_image("p0", epoch=2,
+                                              via_node_index=2))
+        yield env.timeout(1e-4)          # a few chunks into the walk
+        assert fetch.is_alive
+        retired, deleted = store.collect_garbage()
+        assert retired == 1 and deleted == 1  # only the superseded chunk
+        image = yield fetch
+        return image
+
+    image = _run(env, racing_restart())
+    got = {r["name"]: r["data"] for r in image.memory_snapshot["regions"]}
+    assert got == expected                       # bit-identical
+    assert store.stats["corrupt_detected"] == 0  # no heals needed
+    with pytest.raises(StoreError):
+        store.manifest("p0", 1)                  # the old epoch is gone
+
+
 def test_ingest_places_fully_replicated():
     import types
     env = Environment()
