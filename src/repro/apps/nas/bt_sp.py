@@ -42,7 +42,7 @@ def _adi_app(ctx, comm, benchmark: str, klass: str,
 
     data = alloc_scaled(ctx, f"{ctx.name}.{benchmark.lower()}.data",
                         spec.memory_per_proc(nprocs))
-    state = data.as_ndarray(dtype=np.float64)
+    state = data.view(dtype=np.float64)
     rng = np.random.default_rng(8800 + comm.rank)
     state[:] = (rng.random(len(state))
                 * np.exp(rng.normal(0.0, 20.0, len(state))))
@@ -54,8 +54,8 @@ def _adi_app(ctx, comm, benchmark: str, klass: str,
     halo = ctx.memory.mmap(f"{ctx.name}.{benchmark.lower()}.halo",
                            8 * strip_real,
                            repr_scale=max(1.0, face_logical / strip_real))
-    hv = halo.as_ndarray(dtype=np.float64).reshape(8, strip_real // 8)
     sw = strip_real // 8
+    hv = halo.view(dtype=np.float64).reshape(8, sw)
 
     # 3 directional sweeps per iteration
     flops_per_sweep = spec.flops_per_iter() / (nprocs * 3)

@@ -26,7 +26,7 @@ def ep_app(ctx, comm, klass: str = "D", iters_sim: int = 0) -> Generator:
 
     data = alloc_scaled(ctx, f"{ctx.name}.ep.data", EP_PROC_BYTES,
                         real_cap=16384)
-    tallies = data.as_ndarray(dtype=np.float64)[:16]
+    tallies = data.view(dtype=np.float64).subview(slice(0, 16))
     tallies[:] = 0.0
     rng = np.random.default_rng(9000 + comm.rank)
     flops_per_chunk = spec.flops_total / (nprocs * chunks)

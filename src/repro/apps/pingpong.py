@@ -73,11 +73,13 @@ def pingpong_app(ctx: AppContext, peer_host: str, is_server: bool,
     buf = ctx.memory.mmap(f"{ctx.name}.ppbuf",
                           (1 + RX_DEPTH) * msg_bytes)
     mr = ibv.reg_mr(pd, buf.addr, (1 + RX_DEPTH) * msg_bytes, _FULL)
-    send_view = buf.as_ndarray()[:msg_bytes]
+    send_view = buf.view().subview(slice(0, msg_bytes))
     # one buffer per receive slot so a pipelined next message cannot
-    # overwrite data the application is still reading
-    recv_views = [buf.as_ndarray()[(1 + d) * msg_bytes:
-                                   (2 + d) * msg_bytes]
+    # overwrite data the application is still reading; the slots are
+    # read-only here (the HCA's DMA writes them through memory.write,
+    # which range-touches the region itself)
+    recv_views = [buf.view()[(1 + d) * msg_bytes:
+                             (2 + d) * msg_bytes]
                   for d in range(RX_DEPTH)]
     recv_addr = buf.addr + msg_bytes
 

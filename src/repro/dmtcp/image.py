@@ -11,12 +11,17 @@ bytes so scaled-down workloads report paper-magnitude checkpoint sizes and
 times; the compression ratio applied to the logical size is the ratio
 actually measured on the real bytes.
 
-Incremental + parallel capture (DESIGN.md §8): :meth:`CheckpointImage.
+Incremental + parallel capture (DESIGN.md §8/§13): :meth:`CheckpointImage.
 capture` takes an optional ``prev`` image.  A region whose generation is
-unchanged since ``prev`` (and that never leaked a writable view) — or whose
-content hash matches the one recorded in ``prev`` — is *clean*: its stored
-bytes and measured compression ratio are reused verbatim, skipping both the
-copy and the zlib pass.  Dirty regions are snapshotted fresh and their
+unchanged since ``prev`` (and that never leaked a writable view) is *clean*:
+its stored bytes and measured compression ratio are reused verbatim,
+skipping both the copy and the zlib pass.  Dirtiness below region level is
+tracked at the store's :data:`~repro.memory.CHUNK_BYTES` granularity: a
+touched region's per-chunk generation stamps (or, for leaked-view regions,
+one vectorized byte compare against the previous bytes) yield a chunk dirty
+mask, and only the dirty chunks count toward the incremental write-back
+delta — clean chunks also keep their known store digests so a later store
+put never re-hashes them.  Dirty regions are snapshotted fresh and their
 ratios measured over fixed-size chunks, optionally fanned out across a
 ``concurrent.futures`` thread pool (zlib releases the GIL).  Whatever the
 mode, the resulting ``memory_snapshot`` restores bit-identically to a full
@@ -31,7 +36,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..memory import AddressSpace
+import numpy as np
+
+from ..memory import CHUNK_BYTES, AddressSpace, chunk_diff_mask
 
 __all__ = ["CheckpointImage", "ImageError", "CAPTURE_CHUNK_BYTES"]
 
@@ -73,8 +80,13 @@ class CheckpointImage:
     compression_ratio: float = 1.0
     header_bytes: float = 0.0
     #: per-region capture bookkeeping, keyed by region name:
-    #: {"generation", "hash", "ratio"} — what the *next* incremental
-    #: capture needs to prove a region clean and reuse its ratio
+    #: {"generation", "hash", "ratio", "chunk_gens", "chunk_hashes"} —
+    #: what the *next* incremental capture needs to prove a region (or
+    #: individual chunks of it) clean and reuse its ratio.  ``chunk_gens``
+    #: is the per-chunk generation array as raw int64 bytes;
+    #: ``chunk_hashes`` is a per-chunk blake2b-16 digest list (``None``
+    #: holes for chunks nobody has hashed yet — the store fills them in
+    #: at put time) or ``None`` when no digests are known
     region_meta: Dict[str, dict] = field(default_factory=dict)
     #: logical bytes an incremental write-back must actually push (dirty
     #: regions only, post-compression); equals the full compressed size
@@ -115,23 +127,31 @@ class CheckpointImage:
                  "regions_clean_gen": 0, "regions_clean_hash": 0,
                  "regions_dirty": 0, "bytes_clean": 0, "bytes_dirty": 0,
                  "bytes_hashed": 0, "logical_hashed": 0.0,
-                 "compress_skipped": 0}
+                 "compress_skipped": 0, "chunks_total": 0,
+                 "chunks_clean": 0, "chunks_dirty": 0,
+                 "chunks_hash_skipped": 0}
         snap_regions = []
         meta: Dict[str, dict] = {}
         weighted = 0.0
         total_logical = 0.0
         delta_logical = 0.0
-        rows = []           # (logical, meta_entry, clean)
+        rows = []           # (logical, meta_entry, clean, dirty_frac)
         measure_jobs = []   # (meta_entry, data)
 
         for region in memory:
             stats["regions_total"] += 1
             logical = region.size * region.repr_scale
             total_logical += logical
+            n_chunks = region.n_chunks
+            stats["chunks_total"] += n_chunks
             pm = prev_meta.get(region.name)
             ps = prev_snap.get(region.name)
             clean = False
+            compared = False    # paid a byte-compare/hash pass this region
             rhash: Optional[bytes] = None
+            chunk_hashes = None
+            dirty_mask: Optional[np.ndarray] = None
+            ndirty = 0
             if pm is not None and ps is not None \
                     and ps["addr"] == region.addr \
                     and ps["size"] == region.size:
@@ -140,28 +160,65 @@ class CheckpointImage:
                     # no view ever escaped: every mutation bumped the
                     # generation, so equality proves the bytes unchanged
                     clean = True
-                    rhash = pm["hash"]
-                    stats["regions_clean_gen"] += 1
+                    stats["chunks_hash_skipped"] += n_chunks
                 else:
-                    rhash = region.content_hash()
-                    stats["bytes_hashed"] += region.size
-                    stats["logical_hashed"] += logical
-                    if pm["hash"] is not None and rhash == pm["hash"]:
+                    pm_gens = pm.get("chunk_gens")
+                    if not region.views_leaked and pm_gens is not None \
+                            and len(pm_gens) == 8 * n_chunks:
+                        # chunk-granularity proof: only chunks whose
+                        # generation stamp moved since ``prev`` can hold
+                        # changed bytes — nothing is hashed or compared
+                        dirty_mask = np.frombuffer(
+                            pm_gens, dtype=np.int64) != region.chunk_gens
+                        stats["chunks_hash_skipped"] += \
+                            n_chunks - int(np.count_nonzero(dirty_mask))
+                    else:
+                        # leaked views (or a pre-chunk prev image): one
+                        # vectorized byte compare against the previous
+                        # bytes, charged like the whole-region hash scan
+                        # it replaces
+                        compared = True
+                        dirty_mask = chunk_diff_mask(region.buffer,
+                                                     ps["data"])
+                        stats["bytes_hashed"] += region.size
+                        stats["logical_hashed"] += logical
+                    if not dirty_mask.any():
                         clean = True
-                        stats["regions_clean_hash"] += 1
-
+                        dirty_mask = None
             if clean:
+                stats["regions_clean_hash" if compared
+                      else "regions_clean_gen"] += 1
+                rhash = pm["hash"]
+                chunk_hashes = pm.get("chunk_hashes")
                 data = ps["data"]       # bytes are immutable: share them
                 ratio = pm["ratio"]
                 stats["bytes_clean"] += region.size
+                stats["chunks_clean"] += n_chunks
+                dirty_frac = 0.0
             else:
                 data = bytes(region.buffer)
                 stats["regions_dirty"] += 1
                 stats["bytes_dirty"] += region.size
-                if region.views_leaked and rhash is None:
-                    # hash was computed above when a prev existed; for new
-                    # leaked regions compute it now so the next capture
-                    # can prove them clean
+                if dirty_mask is None:
+                    dirty_mask = np.ones(n_chunks, dtype=bool)
+                ndirty = int(np.count_nonzero(dirty_mask))
+                stats["chunks_dirty"] += ndirty
+                stats["chunks_clean"] += n_chunks - ndirty
+                tail = region.size - (n_chunks - 1) * CHUNK_BYTES
+                dirty_bytes = \
+                    int(np.count_nonzero(dirty_mask[:-1])) * CHUNK_BYTES \
+                    + (tail if dirty_mask[-1] else 0)
+                dirty_frac = dirty_bytes / region.size if region.size \
+                    else 1.0
+                pm_hashes = pm.get("chunk_hashes") if pm else None
+                if pm_hashes is not None and len(pm_hashes) == n_chunks:
+                    # clean chunks keep their known digests; dirty ones
+                    # get ``None`` holes for the store to fill at put time
+                    chunk_hashes = [None if dirty_mask[i] else pm_hashes[i]
+                                    for i in range(n_chunks)]
+                if region.views_leaked and not compared:
+                    # brand-new leaked region (no usable prev): hash it
+                    # now so the next capture can prove it clean
                     rhash = region.content_hash()
                     stats["bytes_hashed"] += region.size
                     stats["logical_hashed"] += logical
@@ -180,16 +237,19 @@ class CheckpointImage:
 
             if tracer is not None:
                 how = "dirty" if not clean else (
-                    "gen" if pm is not None
-                    and not region.views_leaked
-                    and region.generation == pm["generation"] else "hash")
+                    "hash" if compared else "gen")
+                extra = {} if prev is None else {
+                    "chunks": n_chunks,
+                    "chunks_dirty": 0 if clean else ndirty}
                 tracer.emit("capture.region", proc_name, t_sim,
                             name=region.name, clean=clean, how=how,
-                            bytes=region.size)
+                            bytes=region.size, **extra)
             entry = {"generation": region.generation, "hash": rhash,
-                     "ratio": ratio}
+                     "ratio": ratio,
+                     "chunk_gens": region.chunk_gens.tobytes(),
+                     "chunk_hashes": chunk_hashes}
             meta[region.name] = entry
-            rows.append((logical, entry, clean))
+            rows.append((logical, entry, clean, dirty_frac))
             snap_regions.append({
                 "name": region.name, "addr": region.addr,
                 "size": region.size, "repr_scale": region.repr_scale,
@@ -222,12 +282,12 @@ class CheckpointImage:
                 tracer.end(compress_span, t_sim, chunks=len(chunks))
 
         # -- weighting: each region's effective ratio by its logical bytes;
-        #    the dirty subset is what a delta write-back must push --------
-        for logical, entry, clean in rows:
+        #    the dirty *chunk* subset is what a delta write-back must push
+        for logical, entry, clean, dirty_frac in rows:
             effective = min(1.0, entry["ratio"]) if gzip else 1.0
             weighted += effective * logical
             if not clean:
-                delta_logical += effective * logical
+                delta_logical += effective * logical * dirty_frac
 
         ratio = weighted / total_logical if total_logical else 1.0
         if not gzip:

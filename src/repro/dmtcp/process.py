@@ -277,11 +277,26 @@ class DmtcpProcess:
             yield self.host.compute(seconds=scan_seconds)
         if tracer is not None:
             cstats = image.capture_stats
+            # chunk-level dirty accounting (metrics always; span attrs
+            # only in incremental mode so full-mode golden traces keep
+            # their schema)
+            for counter, key in (("ckpt.chunks_clean", "chunks_clean"),
+                                 ("ckpt.chunks_dirty", "chunks_dirty"),
+                                 ("ckpt.hash_skipped",
+                                  "chunks_hash_skipped")):
+                amount = cstats.get(key, 0)
+                if amount:
+                    tracer.metrics.counter(counter).inc(amount)
+            chunk_attrs = {} if prev is None else {
+                "chunks": cstats.get("chunks_total", 0),
+                "chunks_dirty": cstats.get("chunks_dirty", 0),
+                "chunks_hash_skipped": cstats.get("chunks_hash_skipped", 0)}
             tracer.end(capture_span, self.env.now,
                        mode=cstats.get("mode", "full"),
                        regions_dirty=cstats.get("regions_dirty", 0),
                        regions_clean=cstats.get("regions_clean_gen", 0)
-                       + cstats.get("regions_clean_hash", 0))
+                       + cstats.get("regions_clean_hash", 0),
+                       **chunk_attrs)
         # one outstanding forked child: a still-running previous
         # write-back must land before this image overwrites its path
         if self._bg_write is not None and self._bg_write.is_alive:
@@ -385,6 +400,10 @@ class DmtcpProcess:
                  "regions_clean": cstats.get("regions_clean_gen", 0)
                  + cstats.get("regions_clean_hash", 0),
                  "delta_logical_bytes": image.delta_logical_size,
+                 "chunks_total": cstats.get("chunks_total", 0),
+                 "chunks_clean": cstats.get("chunks_clean", 0),
+                 "chunks_dirty": cstats.get("chunks_dirty", 0),
+                 "chunks_hash_skipped": cstats.get("chunks_hash_skipped", 0),
                  "overlapped_logical_bytes": bg_logical
                  if intent == "resume" else 0.0}
         if put is not None:

@@ -38,8 +38,9 @@ class ChaosProgress:
 
     def __init__(self, region):
         self.region = region
-        self._words = region.as_ndarray(dtype=np.int64)[:2]
-        self._scalars = region.as_ndarray(dtype=np.float64)[2:2 + _N_SCALARS]
+        self._words = region.view(dtype=np.int64).subview(slice(0, 2))
+        self._scalars = region.view(dtype=np.float64).subview(
+            slice(2, 2 + _N_SCALARS))
 
     @classmethod
     def attach(cls, ctx) -> "ChaosProgress":

@@ -1,5 +1,8 @@
 """User-space memory model: address spaces, regions, pinning, snapshots."""
 
-from .address_space import PAGE_SIZE, AddressSpace, MemoryError_, Region
+from .address_space import (CHUNK_BYTES, PAGE_SIZE, AddressSpace,
+                            MemoryError_, Region, TrackedView,
+                            chunk_diff_mask)
 
-__all__ = ["PAGE_SIZE", "AddressSpace", "MemoryError_", "Region"]
+__all__ = ["CHUNK_BYTES", "PAGE_SIZE", "AddressSpace", "MemoryError_",
+           "Region", "TrackedView", "chunk_diff_mask"]

@@ -13,14 +13,20 @@ for ``repr_scale`` times its actual byte length on the paper's testbed".
 Actual data movement and checksums use the real bytes; time/size accounting
 in the benchmark harness uses the logical (scaled) size.
 
-Dirty tracking (incremental checkpoints, DESIGN.md §8): every region carries
-a monotonically increasing ``generation``.  All mutation avenues must bump
-it — :meth:`AddressSpace.write` and :meth:`AddressSpace.restore` do so, and
-code that slices ``region.buffer`` directly calls :meth:`Region.touch`.
+Dirty tracking (incremental checkpoints, DESIGN.md §8/§13): every region
+carries a monotonically increasing ``generation`` plus a per-chunk
+generation array at :data:`CHUNK_BYTES` granularity (the store's chunk
+size).  All mutation avenues must bump them — :meth:`AddressSpace.write`
+and :meth:`AddressSpace.restore` do so for the byte ranges they touch, and
+code that slices ``region.buffer`` directly calls :meth:`Region.touch`
+(whole-region without arguments, or with an ``(offset, length)`` span).
 :meth:`Region.as_ndarray` additionally marks the region ``views_leaked``:
-once a writable view escapes, the buffer can mutate without a bump, so an
-unchanged generation no longer proves unchanged bytes and checkpoints fall
-back to comparing the lazily maintained :meth:`Region.content_hash`.
+once an uninterposed writable view escapes, the buffer can mutate without
+a bump, so generation equality no longer proves unchanged bytes and
+checkpoints fall back to a vectorized chunk-level byte comparison.
+:meth:`Region.view` is the interposed alternative: a :class:`TrackedView`
+behaves like an ndarray but routes every write through ``touch`` with the
+write's byte span, so hot mutation loops dirty only the chunks they wrote.
 """
 
 from __future__ import annotations
@@ -32,9 +38,19 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-__all__ = ["AddressSpace", "Region", "MemoryError_", "PAGE_SIZE"]
+try:  # numpy >= 2.0 moved byte_bounds out of the top-level namespace
+    from numpy.lib.array_utils import byte_bounds as _byte_bounds
+except ImportError:  # pragma: no cover - numpy < 2.0
+    _byte_bounds = np.byte_bounds
+
+__all__ = ["AddressSpace", "Region", "TrackedView", "MemoryError_",
+           "PAGE_SIZE", "CHUNK_BYTES"]
 
 PAGE_SIZE = 4096
+#: dirty-tracking and store-chunk granularity (one simulated page): the
+#: per-region chunk bitmap, the capture's clean-chunk reuse, and the
+#: content-addressed store all slice regions at this size
+CHUNK_BYTES = PAGE_SIZE
 _BASE_ADDR = 0x1000_0000
 
 
@@ -63,6 +79,12 @@ class Region:
     views_leaked: bool = False
     _hash_gen: int = field(default=-1, repr=False, compare=False)
     _hash: Optional[bytes] = field(default=None, repr=False, compare=False)
+    _chunk_gens: Optional[np.ndarray] = field(default=None, repr=False,
+                                              compare=False)
+    _chunk_hashes: Optional[list] = field(default=None, repr=False,
+                                          compare=False)
+    _chunk_hash_gens: Optional[np.ndarray] = field(default=None, repr=False,
+                                                   compare=False)
 
     @property
     def end(self) -> int:
@@ -77,19 +99,83 @@ class Region:
         """Size this region stands for on the paper's testbed (bytes)."""
         return self.size * self.repr_scale
 
-    def touch(self) -> None:
+    @property
+    def n_chunks(self) -> int:
+        return -(-self.size // CHUNK_BYTES)
+
+    @property
+    def chunk_gens(self) -> np.ndarray:
+        """Per-chunk generation stamps (lazily allocated): chunk ``i`` was
+        last mutated at region generation ``chunk_gens[i]``."""
+        if self._chunk_gens is None or len(self._chunk_gens) != self.n_chunks:
+            self._chunk_gens = np.zeros(self.n_chunks, dtype=np.int64)
+        return self._chunk_gens
+
+    def touch(self, offset: int = 0, length: Optional[int] = None) -> None:
         """Record a mutation (any code writing ``buffer`` directly must
-        call this — or the next incremental checkpoint may skip it)."""
+        call this — or the next incremental checkpoint may skip it).
+
+        Without arguments the whole region is marked dirty (the safe,
+        conservative call); with ``(offset, length)`` only the chunks
+        overlapping that byte span are, which is what lets chunk-level
+        incremental capture skip the rest of the region.
+        """
         self.generation += 1
+        gens = self.chunk_gens
+        if length is None:
+            gens[:] = self.generation
+        elif length > 0:
+            lo = max(0, offset) // CHUNK_BYTES
+            hi = min(self.n_chunks, -(-(offset + length) // CHUNK_BYTES))
+            gens[lo:hi] = self.generation
 
     def as_ndarray(self, dtype="uint8", shape=None) -> np.ndarray:
-        """A writable NumPy view over the region's bytes."""
-        self.generation += 1
+        """A writable NumPy view over the region's bytes.
+
+        Escaping a raw writable view poisons dirty tracking (every chunk
+        must be assumed mutable at any time); prefer :meth:`view` for hot
+        mutation loops so writes dirty only the chunks they touch.
+        """
+        self.touch()
         self.views_leaked = True
         arr = np.frombuffer(self.buffer, dtype=dtype)
         if shape is not None:
             arr = arr.reshape(shape)
         return arr
+
+    def view(self, dtype="uint8", shape=None) -> "TrackedView":
+        """A write-interposed view: ndarray semantics, but every write is
+        routed through :meth:`touch` with the written byte span, so the
+        region stays precisely tracked (no ``views_leaked`` poisoning)."""
+        arr = np.frombuffer(self.buffer, dtype=dtype)
+        if shape is not None:
+            arr = arr.reshape(shape)
+        return TrackedView(self, arr)
+
+    def chunk_hashes(self) -> List[bytes]:
+        """Per-chunk blake2b-16 digests of the current bytes.
+
+        Cached per chunk while provably valid: a chunk is only re-hashed
+        when its generation stamp moved since the digest was computed.
+        With leaked writable views no cache can be trusted, so every
+        chunk is re-hashed on every call.
+        """
+        n = self.n_chunks
+        gens = self.chunk_gens
+        if self._chunk_hashes is None or len(self._chunk_hashes) != n:
+            self._chunk_hashes = [None] * n
+            self._chunk_hash_gens = np.full(n, -1, dtype=np.int64)
+        buf = memoryview(self.buffer)
+        for i in range(n):
+            if (not self.views_leaked
+                    and self._chunk_hashes[i] is not None
+                    and self._chunk_hash_gens[i] == gens[i]):
+                continue
+            lo = i * CHUNK_BYTES
+            self._chunk_hashes[i] = hashlib.blake2b(
+                buf[lo: lo + CHUNK_BYTES], digest_size=16).digest()
+            self._chunk_hash_gens[i] = gens[i]
+        return list(self._chunk_hashes)
 
     def content_hash(self) -> bytes:
         """Digest of the current bytes, cached while provably valid.
@@ -107,6 +193,191 @@ class Region:
 
     def contains(self, addr: int, length: int) -> bool:
         return self.addr <= addr and addr + length <= self.end
+
+
+def chunk_diff_mask(cur, prev) -> np.ndarray:
+    """Boolean dirty mask at :data:`CHUNK_BYTES` granularity from a
+    vectorized byte compare of two equal-length buffers.
+
+    This is the fallback for regions whose per-chunk generations can't be
+    trusted (leaked views, or a prior image captured before chunk
+    tracking existed): one numpy-batched pass over the bytes replaces
+    per-chunk hashing, and the resulting mask feeds the same clean-chunk
+    reuse path as the generation bitmap.
+    """
+    n = len(cur)
+    if len(prev) != n:
+        raise ValueError("chunk_diff_mask: buffer lengths differ")
+    nchunks = -(-n // CHUNK_BYTES)
+    mask = np.zeros(nchunks, dtype=bool)
+    full = n // CHUNK_BYTES
+    if full:
+        a = np.frombuffer(memoryview(cur)[: full * CHUNK_BYTES],
+                          dtype=np.uint8)
+        b = np.frombuffer(memoryview(prev)[: full * CHUNK_BYTES],
+                          dtype=np.uint8)
+        mask[:full] = (a.reshape(full, CHUNK_BYTES)
+                       != b.reshape(full, CHUNK_BYTES)).any(axis=1)
+    if nchunks > full:
+        mask[full] = bytes(cur[full * CHUNK_BYTES:]) \
+            != bytes(prev[full * CHUNK_BYTES:])
+    return mask
+
+
+class TrackedView:
+    """An ndarray facade over a :class:`Region` that keeps dirty tracking
+    precise: reads hand out read-only views, writes go through
+    ``__setitem__``/in-place operators which mark the written byte span
+    via :meth:`Region.touch` before mutating the buffer.
+
+    The logical contract with capture: every buffer byte a TrackedView
+    can change is covered by a ``touch`` of (at least) the chunks it
+    lands in — so an unchanged per-chunk generation still proves
+    unchanged bytes, unlike :meth:`Region.as_ndarray` whose escaped
+    writable views force ``views_leaked``.  Writes through keys numpy
+    resolves to copies (fancy/boolean indexing) conservatively mark the
+    whole view's span.
+    """
+
+    __slots__ = ("_region", "_arr", "_base")
+
+    def __init__(self, region: Region, arr: np.ndarray):
+        self._region = region
+        self._arr = arr
+        self._base = _byte_bounds(
+            np.frombuffer(region.buffer, dtype=np.uint8))[0]
+
+    # -- span marking -------------------------------------------------------
+
+    def _mark_span(self, sub: np.ndarray) -> None:
+        lo, hi = _byte_bounds(sub)
+        self._region.touch(lo - self._base, hi - lo)
+
+    def _mark(self, key) -> None:
+        arr = self._arr
+        if isinstance(key, (int, np.integer)):
+            k = int(key)
+            if k < 0:
+                k += arr.shape[0]
+            sub = arr[k: k + 1]
+        else:
+            try:
+                sub = arr[key]
+            except Exception:
+                sub = arr
+            if not (isinstance(sub, np.ndarray) and sub.size
+                    and np.may_share_memory(sub, arr)):
+                # scalar element, or a key numpy resolves to a copy
+                # (fancy/boolean index): fall back to the whole span
+                sub = arr
+        self._mark_span(sub)
+
+    # -- reads --------------------------------------------------------------
+
+    def _ro(self) -> np.ndarray:
+        arr = self._arr.view()
+        arr.setflags(write=False)
+        return arr
+
+    def __getitem__(self, key):
+        sub = self._arr[key]
+        if isinstance(sub, np.ndarray):
+            sub = sub.view()
+            sub.setflags(write=False)
+        return sub
+
+    def __array__(self, dtype=None, copy=None):
+        arr = self._ro()
+        if dtype is not None and arr.dtype != np.dtype(dtype):
+            arr = arr.astype(dtype)
+        elif copy:
+            arr = arr.copy()
+        return arr
+
+    def __len__(self) -> int:
+        return len(self._arr)
+
+    def __abs__(self) -> np.ndarray:
+        return abs(self._ro())
+
+    def __eq__(self, other):
+        return self._ro() == other
+
+    __hash__ = None
+
+    def __add__(self, other):
+        return self._ro() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._ro() - other
+
+    def __rsub__(self, other):
+        return other - self._ro()
+
+    def __mul__(self, other):
+        return self._ro() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._ro() / other
+
+    def __rtruediv__(self, other):
+        return other / self._ro()
+
+    def __mod__(self, other):
+        return self._ro() % other
+
+    def __getattr__(self, name):
+        # reductions/introspection (sum, min, shape, dtype, nbytes, ...)
+        # resolve against a read-only view so they can't sidestep marking
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._ro(), name)
+
+    # -- writes -------------------------------------------------------------
+
+    def __setitem__(self, key, value) -> None:
+        self._mark(key)
+        if isinstance(value, TrackedView):
+            value = value._ro()
+        self._arr[key] = value
+
+    def _inplace(self, op, other) -> "TrackedView":
+        self._mark_span(self._arr)
+        if isinstance(other, TrackedView):
+            other = other._ro()
+        op(other)
+        return self
+
+    def __iadd__(self, other):
+        return self._inplace(self._arr.__iadd__, other)
+
+    def __isub__(self, other):
+        return self._inplace(self._arr.__isub__, other)
+
+    def __imul__(self, other):
+        return self._inplace(self._arr.__imul__, other)
+
+    def __itruediv__(self, other):
+        return self._inplace(self._arr.__itruediv__, other)
+
+    # -- derived tracked views ----------------------------------------------
+
+    def reshape(self, *shape) -> "TrackedView":
+        return TrackedView(self._region, self._arr.reshape(*shape))
+
+    def subview(self, key) -> "TrackedView":
+        """A TrackedView over a sub-slice (stays write-interposed, unlike
+        ``__getitem__`` which returns read-only data)."""
+        sub = self._arr[key]
+        if not (isinstance(sub, np.ndarray)
+                and np.may_share_memory(sub, self._arr)):
+            raise ValueError(
+                "subview requires a key that resolves to a view")
+        return TrackedView(self._region, sub)
 
 
 class AddressSpace:
@@ -239,7 +510,7 @@ class AddressSpace:
         region = self.region_at(addr, len(data))
         off = addr - region.addr
         region.buffer[off: off + len(data)] = data
-        region.touch()
+        region.touch(off, len(data))
 
     # -- accounting ----------------------------------------------------------
 

@@ -2,9 +2,10 @@
 
 The classic pre-copy algorithm (Clark et al.'s VM live migration,
 re-cast over the paper's checkpoint machinery): while the application
-runs, iterative rounds ship the regions that changed since the last
-round — dirtiness proven by the §8 incremental-capture fingerprints
-(:meth:`~repro.memory.address_space.Region.content_hash`), transfer
+runs, iterative rounds ship the *chunks* that changed since the last
+round — dirtiness proven by the §8/§13 incremental-capture fingerprints
+(:meth:`~repro.memory.address_space.Region.chunk_hashes`, one blake2b-16
+per :data:`~repro.memory.CHUNK_BYTES` slice), transfer
 time charged to the Ethernet segments the copies actually cross.  When
 the dirty residue stops shrinking (or is small enough to ride along),
 the manager freezes the job with the coordinator's ``intent="migrate"``
@@ -37,6 +38,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..dmtcp.launcher import DmtcpSession, dmtcp_restart
 from ..hardware.cluster import Cluster
+from ..memory import CHUNK_BYTES
 from ..store.chunks import digest_bytes
 
 __all__ = ["MigrationConfig", "MigrationError", "MigrationManager",
@@ -121,19 +123,30 @@ class MigrationManager:
         return max(self.source.ethernet.transfer_time(nbytes),
                    self.target.ethernet.transfer_time(nbytes))
 
-    def _dirty(self, proc, synced: Dict[str, bytes]
-               ) -> Tuple[List[Tuple[str, bytes, float]], float]:
-        """Regions of ``proc`` whose content fingerprint moved past what
-        the target already holds.  Returns ([(name, hash, logical
-        bytes)], logical bytes scanned)."""
+    def _dirty(self, proc, synced: Dict[str, list]
+               ) -> Tuple[List[Tuple[str, list, float]], float]:
+        """Regions of ``proc`` holding chunks whose fingerprint moved
+        past what the target already holds.  Returns ([(name, per-chunk
+        hash list, dirty logical bytes)], logical bytes scanned) — only
+        the dirty chunks' bytes ride the round's wire, while the scan is
+        still charged for the whole working set."""
         dirty = []
         scanned = 0.0
         for region in proc.host.memory:
             scanned += region.logical_size
-            fingerprint = region.content_hash()
-            if synced.get(region.name) != fingerprint:
-                dirty.append((region.name, fingerprint,
-                              region.logical_size))
+            hashes = region.chunk_hashes()
+            have = synced.get(region.name)
+            if have is None or len(have) != len(hashes):
+                dirty_real = region.size
+            else:
+                tail = region.size - (len(hashes) - 1) * CHUNK_BYTES
+                dirty_real = sum(
+                    (tail if i == len(hashes) - 1 else CHUNK_BYTES)
+                    for i, (fp, old) in enumerate(zip(hashes, have))
+                    if fp != old)
+            if dirty_real:
+                dirty.append((region.name, hashes,
+                              dirty_real * region.repr_scale))
         return dirty, scanned
 
     # -- the migration ---------------------------------------------------------
@@ -152,7 +165,8 @@ class MigrationManager:
             max_rounds=cfg.max_rounds)
 
         # -- pre-copy rounds (application keeps running) -----------------------
-        synced: Dict[str, Dict[str, bytes]] = {p.name: {} for p in procs}
+        #: per proc: region name → per-chunk digest list the target holds
+        synced: Dict[str, Dict[str, list]] = {p.name: {} for p in procs}
         round_bytes: List[float] = []
         precopy_bytes = 0.0
         while len(round_bytes) < cfg.max_rounds:
@@ -163,7 +177,7 @@ class MigrationManager:
                 raise MigrationError(
                     f"{self.target.name} died during pre-copy round "
                     f"{len(round_bytes) + 1}")
-            dirty_by_proc: Dict[str, List[Tuple[str, bytes, float]]] = {}
+            dirty_by_proc: Dict[str, List[Tuple[str, list, float]]] = {}
             nbytes = scanned = 0.0
             nregions = 0
             for proc in procs:
@@ -215,14 +229,27 @@ class MigrationManager:
         ckpt_set = yield from self.session.checkpoint(intent="migrate")
         delta_bytes = 0.0
         for record in ckpt_set.records:
-            have = synced[record.name]
+            have_by_region = synced[record.name]
             for rsnap in record.image.memory_snapshot["regions"]:
                 meta = record.image.region_meta.get(rsnap["name"], {})
-                fingerprint = meta.get("hash")
-                if fingerprint is None:
-                    fingerprint = digest_bytes(rsnap["data"])
-                if have.get(rsnap["name"]) != fingerprint:
-                    delta_bytes += rsnap["size"] * rsnap["repr_scale"]
+                size = rsnap["size"]
+                n_chunks = -(-size // CHUNK_BYTES)
+                hashes = meta.get("chunk_hashes")
+                if not (isinstance(hashes, list)
+                        and len(hashes) == n_chunks):
+                    hashes = [None] * n_chunks
+                have = have_by_region.get(rsnap["name"])
+                if have is None or len(have) != n_chunks:
+                    have = [None] * n_chunks
+                data = rsnap["data"]
+                for i in range(n_chunks):
+                    lo = i * CHUNK_BYTES
+                    fp = hashes[i]
+                    if fp is None:
+                        fp = digest_bytes(data[lo: lo + CHUNK_BYTES])
+                    if have[i] != fp:
+                        delta_bytes += min(CHUNK_BYTES, size - lo) \
+                            * rsnap["repr_scale"]
             delta_bytes += record.image.header_bytes
         yield env.timeout(self._wire_seconds(delta_bytes))
         self.source.teardown()

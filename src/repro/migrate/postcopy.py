@@ -64,7 +64,11 @@ class PostCopyPager:
         self.retry_delay = retry_delay
         self.retry_jitter = retry_jitter
         self.rng_stream = rng_stream
-        self.refs = {ref.region_name: ref for ref in manifest.chunks}
+        #: region name → that region's chunk refs, in manifest order (a
+        #: region is paged in as a unit: one fault charges all its chunks)
+        self.refs: Dict[str, list] = {}
+        for ref in manifest.chunks:
+            self.refs.setdefault(ref.region_name, []).append(ref)
         #: regions whose read time has been charged (demand or prefetch)
         self.resident: set = set()
         #: faulted regions awaiting service, in fault order
@@ -133,33 +137,38 @@ class PostCopyPager:
     # -- page-in service -------------------------------------------------------
 
     def _page_in(self, region_name: str, mode: str) -> Generator:
-        """Charge one region's store read, retrying through tier
-        outages.  The bytes are already in memory (materialized); the
-        fetch is the *time* of the read, digest-verified so a corrupt
-        replica is healed exactly as an offline restart would."""
-        ref = self.refs[region_name]
+        """Charge one region's store reads (every chunk of it), retrying
+        through tier outages.  The bytes are already in memory
+        (materialized); the fetch is the *time* of the reads,
+        digest-verified so a corrupt replica is healed exactly as an
+        offline restart would."""
+        refs = self.refs[region_name]
         tracer = self.tracer
         span = None if tracer is None else tracer.begin(
             "migrate.pagein", self.name, self.env.now, region=region_name,
-            mode=mode)
-        while True:
-            try:
-                _data, tier = yield from self.store.fetch_chunk(
-                    self.manifest, ref, self.via)
-                break
-            except StoreError:
-                # every tier dark (brownout): the data at rest is fine,
-                # so outwait the outage instead of failing the restart
-                self.stats["retries"] += 1
-                delay = self.retry_delay
-                if self.retry_jitter > 0.0 and self.rng_stream is not None:
-                    delay *= 1.0 + self.retry_jitter \
-                        * float(self.rng_stream.uniform(-1.0, 1.0))
-                if tracer is not None:
-                    tracer.emit("migrate.pagein.retry", self.name,
-                                self.env.now, region=region_name,
-                                delay=delay)
-                yield self.env.timeout(delay)
+            mode=mode, chunks=len(refs))
+        tier = None
+        for ref in refs:
+            while True:
+                try:
+                    _data, tier = yield from self.store.fetch_chunk(
+                        self.manifest, ref, self.via)
+                    break
+                except StoreError:
+                    # every tier dark (brownout): the data at rest is
+                    # fine, so outwait the outage instead of failing the
+                    # restart
+                    self.stats["retries"] += 1
+                    delay = self.retry_delay
+                    if self.retry_jitter > 0.0 \
+                            and self.rng_stream is not None:
+                        delay *= 1.0 + self.retry_jitter \
+                            * float(self.rng_stream.uniform(-1.0, 1.0))
+                    if tracer is not None:
+                        tracer.emit("migrate.pagein.retry", self.name,
+                                    self.env.now, region=region_name,
+                                    delay=delay)
+                    yield self.env.timeout(delay)
         self.resident.add(region_name)
         self.stats["pageins" if mode == "demand" else "prefetched"] += 1
         if tracer is not None:
@@ -212,8 +221,7 @@ class PostCopyPager:
                 self._prefetch_flow(), name=f"{self.name}.prefetch")
 
     def _prefetch_flow(self) -> Generator:
-        for ref in self.manifest.chunks:
-            name = ref.region_name
+        for name in self.refs:
             if name in self.resident or name in self._outstanding_set \
                     or name in self._inflight:
                 continue

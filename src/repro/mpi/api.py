@@ -333,7 +333,7 @@ class Communicator:
         # local copy
         recv_region.buffer[rank * block_bytes:(rank + 1) * block_bytes] = \
             send_region.buffer[rank * block_bytes:(rank + 1) * block_bytes]
-        recv_region.touch()
+        recv_region.touch(rank * block_bytes, block_bytes)
         for phase in range(1, n):
             partner = rank ^ phase if (n & (n - 1)) == 0 \
                 else (rank + phase) % n

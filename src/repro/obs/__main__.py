@@ -44,12 +44,17 @@ def main(argv=None) -> int:
                      help="checkpoint through the content-addressed "
                           "multi-tier store so the trace carries "
                           "store.* records")
+    rep.add_argument("--incremental", action="store_true",
+                     help="checkpoint incrementally against the previous "
+                          "image so the report carries chunk "
+                          "dirty-tracking counters")
     rep.add_argument("--sink", metavar="PATH", default=None,
                      help="also write the trace as JSONL to PATH")
     rep.add_argument("--json", action="store_true",
                      help="emit the decomposition as JSON")
     args = parser.parse_args(argv)
 
+    counters = {}
     if args.trace is not None:
         events = load_trace(args.trace)
         dropped = 0
@@ -57,9 +62,14 @@ def main(argv=None) -> int:
         tracer, outcome = trace_scenario(
             app=args.run, seed=args.seed, iters_sim=args.iters,
             ckpt_interval=args.ckpt_interval, crash_at=args.crash_at,
-            store=args.store, sink=args.sink)
+            store=args.store, incremental=args.incremental,
+            sink=args.sink)
         events = tracer.events
         dropped = tracer.dropped
+        counters = {n: v for n, v in
+                    tracer.metrics.snapshot()["counters"].items()
+                    if n.startswith("ckpt.chunks_")
+                    or n == "ckpt.hash_skipped"}
         print(f"# {args.run.upper()} completed in "
               f"{outcome.completion_seconds:.3f}s (sim): "
               f"{outcome.recovery.n_checkpoints} checkpoint(s), "
@@ -74,9 +84,15 @@ def main(argv=None) -> int:
         payload = {"decomposition": decomp, "violations": violations}
         if store_active:
             payload["store"] = store
+        if counters:
+            payload["counters"] = counters
         print(json.dumps(payload, indent=2))
     else:
         print(render(decomp))
+        if counters:
+            print("# counters: " + ", ".join(
+                f"{name}={value:.0f}"
+                for name, value in sorted(counters.items())))
         if store_active:
             print(render_store(store))
         if violations:

@@ -39,6 +39,12 @@ ProtocolMonitor` cannot see because it records no timeline:
     ``migrate.fault`` is closed by a ``migrate.pagein`` end before the
     next ``migrate.compute``.
 
+``chunk-balance``
+    Any record carrying chunk dirty-tracking attrs (incremental
+    ``ckpt.capture`` / ``capture.region`` events) reports a dirty chunk
+    count between 0 and the region/capture chunk total — the bitmap can
+    never claim more dirty chunks than exist.
+
 Traces may span several :class:`~repro.sim.Environment` instances (one
 per scenario, or per chaos generation in tests that build fresh
 environments): the simulated clock then restarts from zero.  Checks are
@@ -211,6 +217,22 @@ def _check_pagein_before_compute(segment, violations) -> None:
                     f"faulted region(s) not yet paged in ({names})")
 
 
+def _check_chunk_balance(segment, violations) -> None:
+    # self-contained per-record check: dirty (and hash-skipped) chunk
+    # counts can never exceed the chunk total on the same record
+    for event in segment:
+        if "chunks" not in event or "chunks_dirty" not in event:
+            continue
+        total = event["chunks"]
+        dirty = event["chunks_dirty"]
+        skipped = event.get("chunks_hash_skipped", 0)
+        if not 0 <= dirty <= total or not 0 <= skipped <= total:
+            violations.append(
+                f"[chunk-balance] {event['proc']} {event['kind']} at "
+                f"t={event.get('t', 0.0):.6f} reports {dirty} dirty / "
+                f"{skipped} hash-skipped chunk(s) of {total} total")
+
+
 def check_trace_invariants(events: List[Dict[str, Any]],
                            dropped: int = 0) -> List[str]:
     """Return every invariant violation found in ``events`` (empty list
@@ -225,6 +247,7 @@ def check_trace_invariants(events: List[Dict[str, Any]],
             _check_pagein_before_compute(segment, violations)
         _check_refill_before_real(segment, violations)
         _check_replay_balance(segment, violations)
+        _check_chunk_balance(segment, violations)
     return violations
 
 

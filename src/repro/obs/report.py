@@ -97,6 +97,16 @@ def decompose(events: List[Dict[str, Any]]) -> Dict[str, Any]:
                 compress += event.get("dur", 0.0) * (1.0 - 1.0 / stall)
     write = write_gross - compress
 
+    # chunk-granularity dirty-tracking totals (incremental captures
+    # stamp their ckpt.capture end with per-capture chunk counts)
+    chunks_total = chunks_dirty = hash_skipped = 0
+    for event in events:
+        if event["kind"] == "ckpt.capture" and event["ev"] == "E" \
+                and "chunks" in event and within.contains(event):
+            chunks_total += event.get("chunks", 0)
+            chunks_dirty += event.get("chunks_dirty", 0)
+            hash_skipped += event.get("chunks_hash_skipped", 0)
+
     refill_events = [e for e in events if e["kind"] == "refill.poll"]
     refill_served = sum(e.get("served_private", 0) for e in refill_events)
     reposts = sum(e.get("reposts", 0) for e in events
@@ -127,6 +137,12 @@ def decompose(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         "n_checkpoints": n_ckpts,
         "coverage": named / total if total > 0 else 1.0,
         "phases": rows,
+        "chunks": {
+            "total": chunks_total,
+            "clean": chunks_total - chunks_dirty,
+            "dirty": chunks_dirty,
+            "hash_skipped": hash_skipped,
+        },
     }
 
 
@@ -143,6 +159,14 @@ def render(decomp: Dict[str, Any]) -> str:
             f"{row['phase']:>10} {row['seconds']:>10.4f} "
             f"{row['share']:>6.1%} {row['count']:>6}  "
             f"{row.get('note', '')}".rstrip())
+    chunks = decomp.get("chunks", {})
+    if chunks.get("total"):
+        total = chunks["total"]
+        lines.append(
+            f"# chunk dirty tracking: {chunks['dirty']}/{total} chunk(s) "
+            f"dirty ({chunks['dirty'] / total:.1%}) across incremental "
+            f"capture(s); {chunks['hash_skipped']} clean chunk(s) never "
+            "hashed")
     lines.append(f"# named-phase coverage {decomp['coverage']:.1%} of "
                  "total checkpoint time")
     return "\n".join(lines)
@@ -308,12 +332,15 @@ def trace_scenario(app: str = "lu", seed: int = 2014,
                    iters_sim: int = 24, nprocs: int = 4,
                    ckpt_interval: float = 1.0, crash_at: Optional[float]
                    = None, store: bool = False,
+                   incremental: bool = False,
                    sink: Optional[str] = None):
     """Run a NAS chaos scenario under a fresh tracer; returns
     ``(tracer, outcome)``.  ``crash_at`` injects one fatal node crash so
     the trace exercises the restart path (refill + replay); ``store``
     lands checkpoints in the content-addressed multi-tier store so the
-    trace carries ``store.*`` records."""
+    trace carries ``store.*`` records; ``incremental`` checkpoints
+    against the previous image so ``ckpt.capture`` spans carry chunk
+    dirty-tracking attrs and the ``ckpt.chunks_*`` counters move."""
     from ..faults.harness import run_chaos_nas
     from ..faults.schedule import FailureEvent, FixedSchedule
     from .trace import traced
@@ -326,5 +353,5 @@ def trace_scenario(app: str = "lu", seed: int = 2014,
             app=app, klass=klass, nprocs=nprocs, iters_sim=iters_sim,
             seed=seed, ckpt_interval=ckpt_interval,
             schedule=FixedSchedule(failures), use_store=store,
-            backoff_base=0.25)
+            incremental=incremental, backoff_base=0.25)
     return tracer, outcome

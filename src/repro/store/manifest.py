@@ -1,9 +1,10 @@
 """Checkpoint manifests: the per-rank, per-epoch chunk lists.
 
 A :class:`Manifest` is the store's unit of coordination: one per process
-per checkpoint epoch, recording every memory region as a reference to a
-content-addressed chunk (digest + sizes + the capture bookkeeping the
-incremental pipeline needs back at restart) plus the image-level header
+per checkpoint epoch, recording every memory region as a run of
+content-addressed chunk references at :data:`~repro.memory.CHUNK_BYTES`
+granularity (digest + sizes + the capture bookkeeping the incremental
+pipeline needs back at restart) plus the image-level header
 fields of :class:`~repro.dmtcp.image.CheckpointImage`.  Chunks carry the
 bytes; manifests carry everything needed to reassemble a bit-identical
 image from them — so a manifest plus a resolvable chunk set on *any*
@@ -46,16 +47,23 @@ def manifest_path(proc_name: str, epoch: int) -> str:
 
 @dataclass(frozen=True)
 class ChunkRef:
-    """One region's reference into the chunk pool."""
+    """One region chunk's reference into the pool.
+
+    A region spanning more than :data:`~repro.memory.CHUNK_BYTES` emits
+    one ref per chunk-sized slice; ``offset`` is the slice's byte offset
+    within the region, so reassembly concatenates a region's refs in
+    offset order.
+    """
 
     region_name: str
-    digest: bytes            # blake2b-16 of the raw region bytes
+    digest: bytes            # blake2b-16 of the raw chunk bytes
     addr: int
     size: int                # raw bytes the chunk holds
     repr_scale: float
     tag: str
     generation: int          # region generation at capture (incremental seed)
     ratio: Optional[float]   # measured compression ratio (None = unmeasured)
+    offset: int = 0          # byte offset of this chunk within its region
 
     @property
     def logical_bytes(self) -> float:
@@ -102,7 +110,8 @@ class Manifest:
                 "partner_index": self.partner_index,
                 "chunks": [
                     (c.region_name, c.digest, c.addr, c.size, c.repr_scale,
-                     c.tag, c.generation, c.ratio) for c in self.chunks],
+                     c.tag, c.generation, c.ratio, c.offset)
+                    for c in self.chunks],
                 "header": self.header,
                 "memory_name": self.memory_name,
                 "next_addr": self.next_addr,
@@ -119,5 +128,7 @@ class Manifest:
         except Exception as exc:
             raise ManifestError(f"truncated manifest payload: {exc}") \
                 from exc
+        # 8-field rows predate per-chunk offsets; ChunkRef defaults
+        # offset=0 for them
         chunks = [ChunkRef(*row) for row in fields_.pop("chunks")]
         return cls(chunks=chunks, **fields_)

@@ -5,11 +5,12 @@
 
 * **put** — ``put_image`` lands one process's :class:`~repro.dmtcp.image.
   CheckpointImage` on the node-local tier as content-addressed chunks (one
-  per memory region, keyed by the capture's blake2b fingerprint) plus a
-  :class:`~.manifest.Manifest`.  A chunk whose digest is already on the
-  tier — same bytes from a previous epoch, or from another rank on the
-  node — costs a manifest reference instead of a write, so an unchanged
-  region is never rewritten.
+  per ``CHUNK_BYTES`` slice of each memory region, keyed by the capture's
+  per-chunk blake2b fingerprints) plus a :class:`~.manifest.Manifest`.  A
+  chunk whose digest is already on the tier — same bytes from a previous
+  epoch, or from another rank on the node — costs a manifest reference
+  instead of a write, so an unchanged chunk is never rewritten or even
+  re-hashed (the capture carries clean chunks' digests forward).
 * **replicate** — the coordinator calls ``schedule_replication`` as each
   checkpoint epoch completes; an async sim process then copies missing
   chunks and manifests to the partner-node and Lustre tiers while the
@@ -37,6 +38,7 @@ from typing import Dict, Generator, List, Optional, Set, Tuple
 from ..dmtcp.image import CheckpointImage
 from ..hardware.cluster import Cluster
 from ..hardware.storage import FileSystem, StorageError
+from ..memory import CHUNK_BYTES
 from .chunks import digest_bytes
 from .manifest import ChunkRef, Manifest, chunk_path
 from .tiers import LocalTier, LustreTier, PartnerTier
@@ -179,20 +181,38 @@ class CheckpointStore:
 
     @staticmethod
     def _refs_for(image: CheckpointImage) -> List[Tuple[ChunkRef, bytes]]:
-        """One (chunk reference, raw bytes) pair per image region, reusing
-        the capture's fingerprint when it recorded one."""
+        """One (chunk reference, raw bytes) pair per ``CHUNK_BYTES`` slice
+        of every image region, reusing the capture's per-chunk
+        fingerprints when it recorded them.
+
+        Chunks the capture proved clean arrive with their digests already
+        known (carried forward from the previous epoch), so only dirty
+        chunks are hashed here; any digests computed for the holes are
+        written back into ``image.region_meta`` so the *next* incremental
+        capture hands a complete digest list straight back.
+        """
         pairs = []
         for region in image.memory_snapshot["regions"]:
             meta = image.region_meta.get(region["name"], {})
-            digest = meta.get("hash")
-            if digest is None:
-                digest = digest_bytes(region["data"])
-            pairs.append((ChunkRef(
-                region_name=region["name"], digest=digest,
-                addr=region["addr"], size=region["size"],
-                repr_scale=region["repr_scale"], tag=region["tag"],
-                generation=meta.get("generation", 0),
-                ratio=meta.get("ratio")), region["data"]))
+            data = region["data"]
+            size = region["size"]
+            n_chunks = -(-size // CHUNK_BYTES)
+            hashes = meta.get("chunk_hashes")
+            if not (isinstance(hashes, list) and len(hashes) == n_chunks):
+                hashes = [None] * n_chunks
+            for i in range(n_chunks):
+                lo = i * CHUNK_BYTES
+                piece = data[lo: lo + CHUNK_BYTES]
+                if hashes[i] is None:
+                    hashes[i] = digest_bytes(piece)
+                pairs.append((ChunkRef(
+                    region_name=region["name"], digest=hashes[i],
+                    addr=region["addr"] + lo, size=len(piece),
+                    repr_scale=region["repr_scale"], tag=region["tag"],
+                    generation=meta.get("generation", 0),
+                    ratio=meta.get("ratio"), offset=lo), piece))
+            if meta:
+                meta["chunk_hashes"] = hashes
         return pairs
 
     def _manifest_for(self, image: CheckpointImage, rank: int,
@@ -442,6 +462,27 @@ class CheckpointStore:
             f"{ref.digest.hex()} ({proc_name}/{ref.region_name}, "
             f"epoch {epoch})")
 
+    @staticmethod
+    def _assemble_regions(parts: List[Tuple[ChunkRef, bytes]]) -> List[dict]:
+        """Regroup fetched (ref, data) pairs into region snapshot dicts,
+        concatenating each region's chunks in offset order (refs arrive
+        in manifest order, which keeps regions contiguous, but reassembly
+        does not rely on that)."""
+        grouped: Dict[str, List[Tuple[ChunkRef, bytes]]] = {}
+        for ref, data in parts:
+            grouped.setdefault(ref.region_name, []).append((ref, data))
+        regions = []
+        for name, pieces in grouped.items():
+            pieces.sort(key=lambda p: p[0].offset)
+            first = pieces[0][0]
+            regions.append({
+                "name": name, "addr": first.addr - first.offset,
+                "size": sum(r.size for r, _d in pieces),
+                "repr_scale": first.repr_scale, "tag": first.tag,
+                "data": b"".join(d for _r, d in pieces),
+            })
+        return regions
+
     def fetch_image(self, proc_name: str, epoch: Optional[int] = None,
                     via_node_index: int = 0) -> Generator:
         """Process generator: reassemble a bit-identical
@@ -457,16 +498,13 @@ class CheckpointStore:
         span = None if tracer is None else tracer.begin(
             "store.fetch", proc_name, self.env.now, epoch=epoch,
             via=via_node_index, chunks=len(manifest.chunks))
-        regions = []
+        parts = []
         for ref in manifest.chunks:
             data, kind = yield from self.fetch_chunk(manifest, ref,
                                                      via_node_index)
             hits[kind] += 1
-            regions.append({
-                "name": ref.region_name, "addr": ref.addr,
-                "size": ref.size, "repr_scale": ref.repr_scale,
-                "tag": ref.tag, "data": data,
-            })
+            parts.append((ref, data))
+        regions = self._assemble_regions(parts)
         self.stats["fetches"] += 1
         if tracer is not None:
             tracer.end(span, self.env.now, hits_local=hits["local"],
@@ -489,7 +527,7 @@ class CheckpointStore:
         if epoch is None:
             epoch = self.latest_epoch(proc_name)
         manifest = self.manifest(proc_name, epoch)
-        regions = []
+        parts = []
         for ref in manifest.chunks:
             path = chunk_path(ref.digest)
             data = None
@@ -508,11 +546,8 @@ class CheckpointStore:
                     f"{self.name}: no live replica of chunk "
                     f"{ref.digest.hex()} ({proc_name}/{ref.region_name}, "
                     f"epoch {epoch})")
-            regions.append({
-                "name": ref.region_name, "addr": ref.addr,
-                "size": ref.size, "repr_scale": ref.repr_scale,
-                "tag": ref.tag, "data": data,
-            })
+            parts.append((ref, data))
+        regions = self._assemble_regions(parts)
         snap = {"name": manifest.memory_name,
                 "next_addr": manifest.next_addr, "regions": regions}
         return CheckpointImage(memory_snapshot=snap, **manifest.header)

@@ -63,7 +63,7 @@ class SharedArray:
             src = self.local_offset(block)
             seg.buffer[scratch_offset:scratch_offset + self.block_bytes] = \
                 seg.buffer[src:src + self.block_bytes]
-            seg.touch()
+            seg.touch(scratch_offset, self.block_bytes)
             return
         yield from self.upc.core.get(
             owner, self.local_offset(block),
@@ -77,7 +77,7 @@ class SharedArray:
             dst = self.local_offset(block)
             seg.buffer[dst:dst + self.block_bytes] = \
                 seg.buffer[scratch_offset:scratch_offset + self.block_bytes]
-            seg.touch()
+            seg.touch(dst, self.block_bytes)
             return
         yield from self.upc.core.put(
             owner, self.local_offset(block),

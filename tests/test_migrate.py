@@ -72,15 +72,21 @@ def test_precopy_forced_rounds_shrink_monotonically(baseline):
 
 
 def test_precopy_custom_config_convergence_break(baseline):
-    """With a loose convergence ratio the default LU working set never
-    converges: round 1 ships the full image and the still-dirty residue
-    rides the stop-and-copy instead of a wasted second round."""
+    """With chunk-granularity dirty tracking the LU residue genuinely
+    shrinks between rounds — round 2 ships only the boundary strips and
+    the rotating relaxation slab, far below the full round-1 image — so
+    a loose convergence ratio now admits extra rounds instead of
+    collapsing to one, and the final (small) residue still rides the
+    stop-and-copy."""
     mig = run_precopy_lu(
         seed=SEED, nprocs=N, iters_sim=ITERS,
         config=MigrationConfig(max_rounds=8, min_rounds=1,
                                convergence_ratio=0.9))
     assert mig["checksum"] == baseline["checksum"]
-    assert mig["rounds"] == 1
+    assert mig["rounds"] >= 2
+    series = mig["round_bytes"]
+    assert series[1] < 0.9 * series[0]
+    assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
     assert mig["stopcopy_bytes"] > 0.0
 
 
