@@ -1,0 +1,218 @@
+"""ChunkSan: the runtime shadow oracle for chunk-stamp dirty tracking.
+
+The static escape pass (:mod:`.escape`) proves what it can see; ChunkSan
+catches what it can't — a write path that reaches ``region.buffer``
+through an alias the dataflow lost, a ``touch()`` whose span arithmetic
+is wrong by one chunk, a new workload that pokes bytes behind the
+stamps' back.  The oracle is the obvious one, made cheap enough to run
+under every chaos sweep:
+
+* a **shadow table** keyed by ``(proc name, region name)`` holds, per
+  region, the per-chunk generation stamps and an *independent* per-chunk
+  blake2b-16 digest of the bytes as last observed (independent = hashed
+  here from the raw buffer, never through the stamp-trusting
+  :meth:`Region.chunk_hashes` cache this sanitizer exists to audit);
+* at every :meth:`CheckpointImage.capture` and every migration pre-copy
+  round, each region's current bytes are re-hashed and compared: a chunk
+  whose **digest moved while its generation stamp did not** is a stale
+  stamp — the next incremental capture would skip bytes that changed —
+  and raises :class:`ChunkSanError` naming the process, region, chunk
+  index, and the last ``touch()`` backtrace recorded for that chunk.
+
+Regions with ``views_leaked`` set are exempt (capture already distrusts
+their stamps and falls back to byte compare); they are re-observed but
+never judged.  ChunkSan charges **zero simulated time** — it runs in
+the capture call, which is instantaneous in sim time by construction —
+and is strictly opt-in: installed class-wide like the
+:class:`~repro.analysis.protocol.ProtocolMonitor` (pytest fixture knob
+``REPRO_CHUNKSAN=1`` / ``@pytest.mark.chunksan``, or
+``fault_sweep --chunksan``), with no import from the checked modules
+back into ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..memory import CHUNK_BYTES
+
+__all__ = ["ChunkSan", "ChunkSanError", "install_chunksan",
+           "uninstall_chunksan", "sanitized"]
+
+#: frames kept per recorded touch() call site
+_BACKTRACE_LIMIT = 8
+
+
+class ChunkSanError(AssertionError):
+    """A chunk's bytes changed but its generation stamp did not."""
+
+
+def _chunk_digests(buffer, n_chunks: int) -> List[bytes]:
+    """Independent blake2b-16 per-chunk digests straight off the raw
+    buffer — deliberately not :meth:`Region.chunk_hashes`, whose cache
+    trusts the very stamps this oracle audits."""
+    view = memoryview(buffer)
+    out = []
+    for i in range(n_chunks):
+        lo = i * CHUNK_BYTES
+        out.append(hashlib.blake2b(view[lo: lo + CHUNK_BYTES],
+                                   digest_size=16).digest())
+    return out
+
+
+class ChunkSan:
+    """Shadow full-hash oracle proving stamps ⊇ true content diff."""
+
+    def __init__(self) -> None:
+        #: (proc name, region name) → observation
+        self._shadow: Dict[Tuple[str, str], dict] = {}
+        #: id(region) → chunk index → formatted last-touch backtrace
+        self._touches: Dict[int, Dict[int, str]] = {}
+        self.checks = 0             # capture/migration-round checkpoints
+        self.regions_checked = 0
+        self.chunks_checked = 0
+        self.regions_skipped = 0    # views_leaked: stamps not trusted
+        self.stale_caught = 0
+
+    # -- touch recording (wired by install_chunksan) -------------------------
+
+    def record_touch(self, region, offset: int = 0,
+                     length: Optional[int] = None) -> None:
+        """Remember where each chunk was last stamped, for the error
+        message.  Called by the installed ``Region.touch`` wrapper
+        *before* the real touch runs."""
+        n = region.n_chunks
+        if length is None:
+            lo, hi = 0, n
+        elif length > 0:
+            lo = max(0, offset) // CHUNK_BYTES
+            hi = min(n, -(-(offset + length) // CHUNK_BYTES))
+        else:
+            return
+        stack = traceback.extract_stack(limit=_BACKTRACE_LIMIT + 2)[:-2]
+        where = "".join(traceback.format_list(stack)) or "  <no frames>\n"
+        per_region = self._touches.setdefault(id(region), {})
+        for i in range(lo, hi):
+            per_region[i] = where
+
+    def _last_touch(self, region, chunk: int) -> str:
+        where = self._touches.get(id(region), {}).get(chunk)
+        if where is None:
+            return "  <chunk never touch()ed while sanitized>\n"
+        return where
+
+    # -- the oracle ----------------------------------------------------------
+
+    def check_region(self, proc_name: str, region,
+                     context: str = "capture") -> int:
+        """Compare ``region`` against its shadow observation; returns the
+        number of chunks judged.  Raises :class:`ChunkSanError` on the
+        first stale stamp; always re-observes (even leaked regions, so a
+        later un-leaked generation starts from truth)."""
+        key = (proc_name, region.name)
+        n = region.n_chunks
+        digests = _chunk_digests(region.buffer, n)
+        gens = np.array(region.chunk_gens, copy=True)
+        prev = self._shadow.get(key)
+        self._shadow[key] = {"token": id(region), "size": region.size,
+                             "gens": gens, "digests": digests}
+        if region.views_leaked:
+            # capture already refuses to trust these stamps (falls back
+            # to byte compare), so there is no discipline to prove
+            self.regions_skipped += 1
+            return 0
+        if prev is None or prev["token"] != id(region) \
+                or prev["size"] != region.size:
+            # first sight, a remapping, or a resize: nothing to diff yet
+            return 0
+        self.regions_checked += 1
+        self.chunks_checked += n
+        prev_gens = prev["gens"]
+        prev_digests = prev["digests"]
+        m = min(n, len(prev_digests))
+        for i in range(m):
+            if digests[i] != prev_digests[i] and gens[i] == prev_gens[i]:
+                self.stale_caught += 1
+                raise ChunkSanError(
+                    f"stale chunk stamp: {proc_name}/{region.name} chunk "
+                    f"{i} (bytes [{i * CHUNK_BYTES}, "
+                    f"{min(region.size, (i + 1) * CHUNK_BYTES)})) changed "
+                    f"content but its generation stamp stayed at "
+                    f"{int(gens[i])} since the last {context} check — an "
+                    "incremental capture would skip these bytes. Last "
+                    f"touch() covering this chunk:\n"
+                    f"{self._last_touch(region, i)}")
+        return n
+
+    def check_capture(self, proc_name: str, memory,
+                      context: str = "capture", tracer=None,
+                      t_sim: float = 0.0) -> None:
+        """Audit every region of ``memory``; called at capture entry and
+        at each migration pre-copy round.  Zero simulated time."""
+        self.checks += 1
+        regions = 0
+        chunks = 0
+        for region in memory:
+            regions += 1
+            chunks += self.check_region(proc_name, region, context)
+        if tracer is not None:
+            # note: no "chunks"+"chunks_dirty" pair — that attribute
+            # combination is claimed by the chunk-balance trace invariant
+            tracer.emit("chunksan.check", proc_name, t_sim,
+                        context=context, regions=regions,
+                        chunks_checked=chunks, stale=self.stale_caught)
+
+    def summary(self) -> dict:
+        return {"checks": self.checks,
+                "regions_checked": self.regions_checked,
+                "chunks_checked": self.chunks_checked,
+                "regions_skipped": self.regions_skipped,
+                "stale_caught": self.stale_caught}
+
+
+def install_chunksan(san: ChunkSan):
+    """Install ``san`` class-wide on the two audit points —
+    ``CheckpointImage.capture`` and ``MigrationManager`` pre-copy rounds
+    — and interpose ``Region.touch`` to record last-touch backtraces.
+    Returns the previous state for :func:`uninstall_chunksan` (nesting
+    restores cleanly, same shape as ``install_monitor``)."""
+    from ..dmtcp.image import CheckpointImage
+    from ..memory.address_space import Region
+    from ..migrate.manager import MigrationManager
+
+    prev = (CheckpointImage.chunksan, MigrationManager.chunksan,
+            Region.touch)
+    CheckpointImage.chunksan = san
+    MigrationManager.chunksan = san
+    orig_touch = Region.touch
+
+    def _touch(self, offset: int = 0, length: Optional[int] = None):
+        san.record_touch(self, offset, length)
+        return orig_touch(self, offset, length)
+
+    Region.touch = _touch
+    return prev
+
+
+def uninstall_chunksan(prev) -> None:
+    from ..dmtcp.image import CheckpointImage
+    from ..memory.address_space import Region
+    from ..migrate.manager import MigrationManager
+
+    CheckpointImage.chunksan, MigrationManager.chunksan, Region.touch = prev
+
+
+@contextmanager
+def sanitized():
+    """``with sanitized() as san:`` — run the body under ChunkSan."""
+    san = ChunkSan()
+    prev = install_chunksan(san)
+    try:
+        yield san
+    finally:
+        uninstall_chunksan(prev)

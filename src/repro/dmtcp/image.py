@@ -34,7 +34,7 @@ import pickle
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import ClassVar, Dict, Optional
 
 import numpy as np
 
@@ -96,6 +96,11 @@ class CheckpointImage:
     #: (not meaningful after from_bytes round-trips of old images)
     capture_stats: dict = field(default_factory=dict)
 
+    #: opt-in ChunkSan oracle (``repro.analysis.chunksan``), installed
+    #: class-wide by ``install_chunksan`` like ``DmtcpProcess.tracer`` —
+    #: this module never imports ``repro.analysis``
+    chunksan: ClassVar[Optional[object]] = None
+
     @classmethod
     def capture(cls, proc_name: str, pid: int, kernel_version: str,
                 hca_vendor: Optional[str], memory: AddressSpace,
@@ -115,6 +120,13 @@ class CheckpointImage:
         imports ``repro.obs`` and never reads a clock — the tracer stamps
         wall time itself, and capture advances no simulated time.
         """
+        san = cls.chunksan
+        if san is not None:
+            # audit the stamps *before* this capture trusts them for the
+            # clean-proof hierarchy below; charges zero simulated time
+            san.check_capture(proc_name, memory, context="capture",
+                              tracer=tracer, t_sim=t_sim)
+
         prev_snap: Dict[str, dict] = {}
         prev_meta: Dict[str, dict] = {}
         if prev is not None:

@@ -107,7 +107,8 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
               intervals: Optional[List[float]] = None,
               incremental: bool = False, ckpt_workers: int = 0,
               use_store: bool = False,
-              quiet: bool = False, analysis: bool = False) -> SweepResult:
+              quiet: bool = False, analysis: bool = False,
+              chunksan: bool = False) -> SweepResult:
     n_nodes = max(1, -(-nprocs // ppn))
     ckpt_cost, baseline = measure_ckpt_cost(app, klass, nprocs, ppn,
                                             iters_sim, seed=base_seed,
@@ -138,7 +139,7 @@ def run_sweep(mtbf_values: List[float], trials: int = 3,
                         backoff_base=0.2, backoff_max=2.0,
                         max_attempts=50, incremental=incremental,
                         ckpt_workers=ckpt_workers, use_store=use_store,
-                        analysis=analysis)
+                        analysis=analysis, chunksan=chunksan)
                     for trial in range(trials)]
             mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
             cell = SweepCell(
@@ -189,6 +190,10 @@ def main(argv=None) -> int:
                         help="run every chaos job under the strict "
                              "ProtocolMonitor (repro.analysis) and print "
                              "its summary")
+    parser.add_argument("--chunksan", action="store_true",
+                        help="run every chaos job under the ChunkSan "
+                             "shadow oracle (repro.analysis.chunksan): a "
+                             "stale chunk stamp aborts the sweep")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="additionally run one traced LU job, write "
                              "its lifecycle trace (JSONL) to PATH, and "
@@ -204,7 +209,11 @@ def main(argv=None) -> int:
     result = run_sweep(mtbfs, trials=trials, iters_sim=iters,
                        base_seed=args.seed, incremental=args.incremental,
                        ckpt_workers=args.ckpt_workers,
-                       use_store=args.store, analysis=args.analysis)
+                       use_store=args.store, analysis=args.analysis,
+                       chunksan=args.chunksan)
+    if args.chunksan:
+        print("# chunksan: every capture audited against the shadow "
+              "full-hash oracle — no stale chunk stamps")
 
     print("\n# restart-path verification under injected crash")
     verdict = verify_restart_path(seed=args.seed, analysis=args.analysis)

@@ -65,6 +65,16 @@ def _maybe_traced(trace: bool):
     return traced()
 
 
+def _maybe_chunksan(chunksan: bool):
+    """Context manager: a fresh class-wide ChunkSan oracle when
+    ``chunksan`` is on, a no-op otherwise.  Imported lazily — same
+    opt-in contract as ``_maybe_monitored``/``_maybe_traced``."""
+    if not chunksan:
+        return contextlib.nullcontext(None)
+    from ..analysis.chunksan import sanitized
+    return sanitized()
+
+
 def young_daly_interval(mtbf_job: float, ckpt_cost: float) -> float:
     """Young's first-order optimum τ* = sqrt(2 · MTBF_job · C), where
     MTBF_job = mtbf_node / n_nodes and C is one checkpoint's wall cost."""
@@ -90,6 +100,9 @@ class ChaosOutcome:
     #: the lifecycle trace (event dicts, see ``repro.obs.trace``) when
     #: the run was made with trace=True
     trace_events: Optional[List[Dict[str, Any]]] = None
+    #: ChunkSan.summary() when the run was made with chunksan=True (the
+    #: run raising no ChunkSanError IS the verdict; this records volume)
+    chunksan: Optional[Dict[str, Any]] = None
 
     @property
     def completion_seconds(self) -> float:
@@ -118,7 +131,8 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
                   use_store: bool = False,
                   costs: CostModel = DEFAULT_COSTS,
                   analysis: bool = False,
-                  trace: bool = False) -> ChaosOutcome:
+                  trace: bool = False,
+                  chunksan: bool = False) -> ChaosOutcome:
     """Run one NAS kernel to completion under chaos; see module docstring.
 
     ``schedule`` overrides the default per-node Poisson(``mtbf_node``)
@@ -131,7 +145,11 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
     :class:`~repro.analysis.ProtocolMonitor`; its summary lands in
     :attr:`ChaosOutcome.protocol`.  ``trace`` runs it under a fresh
     :class:`~repro.obs.Tracer`; the recorded events land in
-    :attr:`ChaosOutcome.trace_events`.
+    :attr:`ChaosOutcome.trace_events`.  ``chunksan`` runs it under the
+    :class:`~repro.analysis.ChunkSan` shadow oracle — every capture
+    audits the chunk stamps against true content, a stale stamp aborts
+    the run with a ``ChunkSanError`` — and its volume counters land in
+    :attr:`ChaosOutcome.chunksan`.
     """
     app_fn = _APPS[app]
     env = Environment()
@@ -165,7 +183,8 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
         plugin_factory=lambda: [InfinibandPlugin(costs=costs)],
         injector=injector, rng=rng)
     with _maybe_monitored(analysis) as monitor, \
-            _maybe_traced(trace) as tracer:
+            _maybe_traced(trace) as tracer, \
+            _maybe_chunksan(chunksan) as san:
         recovery = env.run(until=env.process(manager.run()))
     injector.stop()
     return ChaosOutcome(
@@ -174,7 +193,8 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
         checksum=recovery.results[0].checksum, recovery=recovery,
         failures=list(injector.records),
         protocol=monitor.summary() if monitor is not None else None,
-        trace_events=tracer.events if tracer is not None else None)
+        trace_events=tracer.events if tracer is not None else None,
+        chunksan=san.summary() if san is not None else None)
 
 
 def verify_restart_path(seed: int = 2014, klass: str = "A",

@@ -97,6 +97,10 @@ class MigrationManager:
     #: opt-in lifecycle tracer (``repro.obs.trace``), installed class-wide
     #: by ``install_tracer``, like ``DmtcpProcess.tracer``.
     tracer = None
+    #: opt-in ChunkSan oracle (``repro.analysis.chunksan``), installed
+    #: class-wide by ``install_chunksan``: audits the chunk fingerprints
+    #: each pre-copy round ships before they decide what rides the wire
+    chunksan = None
 
     def __init__(self, session: DmtcpSession, target: Cluster,
                  config: Optional[MigrationConfig] = None,
@@ -130,6 +134,11 @@ class MigrationManager:
         hash list, dirty logical bytes)], logical bytes scanned) — only
         the dirty chunks' bytes ride the round's wire, while the scan is
         still charged for the whole working set."""
+        if self.chunksan is not None:
+            self.chunksan.check_capture(
+                getattr(proc, "name", str(proc)), proc.host.memory,
+                context="migrate.round", tracer=self.tracer,
+                t_sim=self.env.now)
         dirty = []
         scanned = 0.0
         for region in proc.host.memory:

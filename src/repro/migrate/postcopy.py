@@ -285,7 +285,7 @@ def postcopy_restart(cluster: Cluster, ckpt_set: CheckpointSet,
         pager = PostCopyPager(
             env, store, manifest, host, dst_index,
             retry_delay=retry_delay, retry_jitter=retry_jitter,
-            rng_stream=rng.fault_stream(f"postcopy/{record.name}")
+            rng_stream=rng.fault_stream(f"postcopy/{record.name}")  # repro: allow(rng-taint) pager retry jitter must ride the faults/ namespace so enabling post-copy never perturbs app streams
             if rng is not None else None)
         pagers.append(pager)
 

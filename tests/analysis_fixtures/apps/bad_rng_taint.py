@@ -1,0 +1,21 @@
+"""Seeded violations for ``rng-taint``: the faults/ stream namespace
+drawn outside faults/, and wall-clock-derived seeds."""
+
+import time
+
+
+def reserved_stream_outside_faults(rng):
+    return rng.fault_stream("app/jitter")       # flagged: not in faults/
+
+
+def literal_faults_namespace(rng):
+    return rng.stream("faults/app")             # flagged: bypasses fault_stream
+
+
+def wallclock_seed():
+    from repro.sim import RngFactory
+    return RngFactory(int(time.time()))         # flagged: wall-clock seed
+
+
+def wallclock_stream_name(rng):
+    return rng.stream(f"run-{time.time_ns()}")  # flagged: wall-clock name

@@ -1,0 +1,21 @@
+"""Seeded violations for ``untracked-buffer-write``: direct buffer
+mutation whose span no following ``touch()`` provably covers."""
+
+
+def no_touch_at_all(region, payload):
+    region.buffer[0:64] = payload   # flagged: no touch() follows
+
+
+def touch_does_not_cover(region, payload):
+    region.buffer[0:4096] = payload   # flagged: touch covers [0, 64)
+    region.touch(0, 64)
+
+
+def touch_offsets_diverge(region, payload, base, other):
+    region.buffer[base:base + 64] = payload   # flagged: unproven span
+    region.touch(other, 64)
+
+
+def memoryview_alias(region, payload):
+    mv = memoryview(region.buffer)
+    mv[128:192] = payload           # flagged: alias write, no touch

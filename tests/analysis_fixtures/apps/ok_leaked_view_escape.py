@@ -1,0 +1,9 @@
+"""Escape shapes acknowledged with per-line suppressions."""
+
+
+def returned(region):
+    return region.as_ndarray()  # repro: allow(leaked-view-escape) read-only consumer, tracked in #8
+
+
+def stored_on_self(self, region):
+    self.grid = region.as_ndarray()  # repro: allow(leaked-view-escape) read-only consumer, tracked in #8

@@ -1,0 +1,5 @@
+"""RNG namespace crossings acknowledged with per-line suppressions."""
+
+
+def reserved_stream_outside_faults(rng):
+    return rng.fault_stream("app/jitter")  # repro: allow(rng-taint) deliberately rides faults/ so enabling it never perturbs app streams

@@ -1,0 +1,8 @@
+"""A forward-looking waiver, honestly declared: adding
+``stale-suppression`` to the allow list keeps a deliberately
+early waiver from failing the gate."""
+
+
+def clean_code():
+    total = 0  # repro: allow(leaked-view-write, stale-suppression) next commit writes through this line
+    return total

@@ -1,0 +1,5 @@
+"""Untracked buffer writes acknowledged with per-line suppressions."""
+
+
+def no_touch_at_all(region, payload):
+    region.buffer[0:64] = payload  # repro: allow(untracked-buffer-write) caller touches the span, tracked in #8

@@ -1,0 +1,10 @@
+"""faults/ is the reserved namespace's home: drawing fault streams here
+is the intended use and must produce zero rng-taint findings."""
+
+
+def schedule_jitter(rng):
+    return rng.fault_stream("schedule/jitter")
+
+
+def literal_namespace(rng):
+    return rng.stream("faults/models")

@@ -1,0 +1,9 @@
+"""memory/ owns the tracking implementation: raw views and direct
+buffer mutation are its job, so the escape rules do not apply here."""
+
+
+def implementation_detail(region):
+    x = region.as_ndarray()
+    x[0:10] = 0
+    region.buffer[0:10] = b"\x00" * 10
+    return x

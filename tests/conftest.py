@@ -1,5 +1,6 @@
 """Shared fixtures: small IB clusters with processes and verbs endpoints."""
 
+import os
 from dataclasses import dataclass
 from typing import List
 
@@ -47,6 +48,23 @@ def trace_invariants(request):
     finally:
         harness.uninstall()
         harness.assert_clean()
+
+
+@pytest.fixture(autouse=True)
+def chunksan_oracle(request):
+    """ChunkSan knob: tests marked ``@pytest.mark.chunksan`` — or every
+    test, when ``REPRO_CHUNKSAN=1`` is exported — run under the shadow
+    full-hash oracle (``repro.analysis.chunksan``): each checkpoint
+    capture and migration round audits the chunk stamps against true
+    content, and a stale stamp fails the test at the offending capture
+    with the chunk index and last-touch backtrace."""
+    marked = request.node.get_closest_marker("chunksan") is not None
+    if not (marked or os.environ.get("REPRO_CHUNKSAN") == "1"):
+        yield None
+        return
+    from repro.analysis.chunksan import sanitized
+    with sanitized() as san:
+        yield san
 
 
 @dataclass

@@ -1,0 +1,223 @@
+"""ChunkSan, the runtime shadow oracle: accepts every stamp bitmap a
+disciplined (TrackedView / touch-covered) write sequence produces,
+catches a seeded stale stamp with the chunk index and last-touch
+backtrace, charges zero simulated time, and rides the chaos harness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.chunksan import (ChunkSan, ChunkSanError,
+                                     install_chunksan, sanitized,
+                                     uninstall_chunksan)
+from repro.dmtcp.image import CheckpointImage
+from repro.memory import CHUNK_BYTES, AddressSpace
+from repro.migrate.manager import MigrationManager
+
+SIZE = 4 * CHUNK_BYTES + 100
+
+
+def _capture(mem, prev=None):
+    return CheckpointImage.capture("p0", 1, "3.8.13", None, mem,
+                                   gzip=False, prev=prev)
+
+
+# -- the hypothesis property: disciplined writes always accepted ---------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, SIZE - 2),        # offset
+              st.integers(1, 2 * CHUNK_BYTES),  # length
+              st.integers(0, 255),              # value
+              st.booleans()),                   # capture after this write?
+    max_size=10))
+def test_chunksan_accepts_all_tracked_write_sequences(writes):
+    """Any stamp bitmap produced by random TrackedView writes (plus
+    interleaved captures) satisfies the stamps ⊇ content-diff oracle."""
+    mem = AddressSpace("p0")
+    region = mem.mmap("data", SIZE)
+    with sanitized() as san:
+        prev = _capture(mem)
+        view = region.view()
+        for off, length, value, ckpt in writes:
+            end = min(SIZE, off + length)
+            view[off:end] = value
+            if ckpt:
+                prev = _capture(mem, prev=prev)
+        _capture(mem, prev=prev)
+        assert san.stale_caught == 0
+        assert san.regions_skipped == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, SIZE - 65),
+                          st.integers(1, 64)), max_size=8))
+def test_chunksan_accepts_touch_covered_buffer_writes(writes):
+    mem = AddressSpace("p0")
+    region = mem.mmap("data", SIZE)
+    with sanitized() as san:
+        prev = _capture(mem)
+        for off, length in writes:
+            region.buffer[off:off + length] = bytes([7]) * length
+            region.touch(off, length)
+            prev = _capture(mem, prev=prev)
+        assert san.stale_caught == 0
+
+
+# -- the seeded negative: a deliberately skipped touch() ----------------------
+
+
+def test_chunksan_catches_seeded_stale_stamp():
+    mem = AddressSpace("p0")
+    region = mem.mmap("data", SIZE)
+    with sanitized() as san:
+        prev = _capture(mem)
+        # the bug under test: bytes move in chunk 2, stamps do not
+        lo = 2 * CHUNK_BYTES + 17
+        region.buffer[lo:lo + 4] = b"XXXX"
+        with pytest.raises(ChunkSanError) as exc:
+            _capture(mem, prev=prev)
+        assert "chunk 2" in str(exc.value)
+        assert "p0/data" in str(exc.value)
+        assert san.stale_caught == 1
+
+
+def test_chunksan_error_carries_last_touch_backtrace():
+    mem = AddressSpace("p0")
+    region = mem.mmap("data", SIZE)
+    with sanitized():
+        prev = _capture(mem)
+        view = region.view()
+        view[0:10] = 9                   # the touch ChunkSan remembers
+        prev = _capture(mem, prev=prev)
+        region.buffer[0:4] = b"ZZZZ"     # ...then an untracked write
+        with pytest.raises(ChunkSanError) as exc:
+            _capture(mem, prev=prev)
+    message = str(exc.value)
+    assert "chunk 0" in message
+    assert "test_chunksan.py" in message     # the view[0:10] frame
+
+
+def test_untouched_chunk_reports_no_backtrace_available():
+    mem = AddressSpace("p0")
+    region = mem.mmap("data", SIZE)
+    with sanitized():
+        prev = _capture(mem)
+        region.buffer[0:4] = b"QQQQ"
+        with pytest.raises(ChunkSanError) as exc:
+            _capture(mem, prev=prev)
+    assert "never touch()ed" in str(exc.value)
+
+
+# -- exemptions and re-seeding -------------------------------------------------
+
+
+def test_leaked_view_regions_are_exempt():
+    """views_leaked regions are re-observed but never judged: capture
+    already distrusts their stamps and byte-compares instead."""
+    mem = AddressSpace("p0")
+    region = mem.mmap("data", SIZE)
+    arr = region.as_ndarray()
+    with sanitized() as san:
+        prev = _capture(mem)
+        arr[0:100] = 42                  # mutates with no touch: legal here
+        _capture(mem, prev=prev)
+        assert san.stale_caught == 0
+        assert san.regions_skipped >= 1
+        assert san.regions_checked == 0
+
+
+def test_remapped_region_reseeds_instead_of_judging():
+    """A region replaced wholesale between captures (restart path) must
+    not be judged against the old object's stamps."""
+    mem = AddressSpace("p0")
+    mem.mmap("data", SIZE)
+    with sanitized() as san:
+        _capture(mem)
+        mem.munmap(mem.region("data"))
+        mem.mmap("data", SIZE)           # same name, fresh object
+        _capture(mem)
+        assert san.stale_caught == 0
+
+
+def test_restore_path_is_chunksan_clean():
+    """AddressSpace.restore touches what it rewrites, so a checkpoint /
+    mutate / restore / capture cycle satisfies the oracle."""
+    mem = AddressSpace("p0")
+    region = mem.mmap("data", SIZE)
+    with sanitized() as san:
+        img = _capture(mem)
+        view = region.view()
+        view[10:20] = 5
+        img2 = _capture(mem, prev=img)
+        img.restore_memory(mem)
+        _capture(mem, prev=img2)
+        assert san.stale_caught == 0
+
+
+# -- install/uninstall wiring --------------------------------------------------
+
+
+def test_install_uninstall_restores_class_state():
+    from repro.memory.address_space import Region
+
+    orig_touch = Region.touch
+    san = ChunkSan()
+    prev = install_chunksan(san)
+    try:
+        assert CheckpointImage.chunksan is san
+        assert MigrationManager.chunksan is san
+        assert Region.touch is not orig_touch
+    finally:
+        uninstall_chunksan(prev)
+    assert CheckpointImage.chunksan is None
+    assert MigrationManager.chunksan is None
+    assert Region.touch is orig_touch
+
+
+@pytest.mark.chunksan
+def test_marker_knob_installs_the_oracle():
+    """The conftest fixture: a chunksan-marked test runs with the
+    oracle installed class-wide."""
+    assert CheckpointImage.chunksan is not None
+    assert MigrationManager.chunksan is not None
+
+
+# -- end to end: chaos harness, zero sim time ---------------------------------
+
+
+def test_chaos_run_under_chunksan_is_timing_invariant():
+    """An LU chaos run under ChunkSan completes with an identical
+    fingerprint (checksum, completion time, failure record) to the
+    unsanitized run — the oracle charges zero simulated time — and the
+    outcome carries the audit volume."""
+    from repro.faults.harness import run_chaos_nas
+
+    base = run_chaos_nas(app="lu", iters_sim=12, seed=2014,
+                         ckpt_interval=0.5, incremental=True)
+    san = run_chaos_nas(app="lu", iters_sim=12, seed=2014,
+                        ckpt_interval=0.5, incremental=True,
+                        chunksan=True)
+    assert san.fingerprint() == base.fingerprint()
+    assert base.chunksan is None
+    assert san.chunksan is not None
+    assert san.chunksan["checks"] > 0
+    assert san.chunksan["stale_caught"] == 0
+
+
+def test_chunksan_emits_audit_trace_events():
+    from repro.faults.harness import run_chaos_nas
+
+    out = run_chaos_nas(app="lu", iters_sim=12, seed=2014,
+                        ckpt_interval=0.5, incremental=True,
+                        chunksan=True, trace=True)
+    checks = [e for e in out.trace_events
+              if e["kind"] == "chunksan.check"]
+    assert checks and all(e["stale"] == 0 for e in checks)
+    assert sum(1 for e in checks) == out.chunksan["checks"]
+
+    from repro.obs import decompose, render
+    decomp = decompose(out.trace_events)
+    assert decomp["chunksan"]["checks"] == out.chunksan["checks"]
+    assert "chunksan" in render(decomp)
