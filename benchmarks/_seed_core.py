@@ -1,3 +1,11 @@
+# Frozen pre-optimization event kernel (the "before" side of BENCH_sim).
+#
+# This is the simulator core exactly as it stood at the seed commit
+# (01eb00c), vendored verbatim so the kernel microbenchmark in
+# bench_sim_scale.py can race old vs new step loops in the same
+# interpreter — CI checkouts are depth-1, so extracting it from git
+# history is not an option there.  Do not edit or "fix" anything here:
+# its whole value is being byte-for-byte the pre-PR kernel.
 """Discrete-event simulation kernel.
 
 A small SimPy-flavoured engine: simulated processes are Python generators
@@ -9,43 +17,15 @@ as simulated seconds.
 
 The kernel is deliberately deterministic: ties in the event heap are broken
 by an insertion sequence number, never by object identity.
-
-Scaling notes (DESIGN.md §15).  At Table-1 rank counts (2048 processes)
-the kernel pops millions of events per run, so the hot structures are
-tuned without changing the event order:
-
-* every event class uses ``__slots__`` — no per-event ``__dict__``, which
-  roughly halves the allocator/GC traffic of a large run;
-* zero-delay schedules (event triggers, ``timeout(0)``) go to a FIFO
-  *ready lane* (a deque) instead of the time heap.  Entries keep their
-  global sequence number, and :meth:`Environment.step` pops whichever of
-  heap-front/lane-front has the smaller ``(time, seq)`` — the drain order
-  is exactly the order a pure heap would produce, the lane just avoids
-  ``heappush``/``heappop`` for the ~60% of schedules that fire "now";
-* the kernel's *internal* one-shot control events (process bootstrap,
-  already-processed-target wake-ups, interrupt kicks) come from a
-  pre-allocated free list and are recycled as soon as their callbacks
-  ran.  Only events the kernel provably owns are pooled — user-visible
-  events (timeouts, process events, conditions) are never recycled
-  because callers may hold them after they fire;
-* :class:`SimStats` counts events, peak queue length, and same-timestamp
-  batch sizes for ``repro.obs`` (``report --sim``) and BENCH_sim.
-
-:class:`ReferenceEnvironment` keeps the pre-batching behaviour (pure
-heap, no pooling) so property tests can assert the optimized drain is
-order-identical.
 """
 
 from __future__ import annotations
 
-import gc
 import heapq
-from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "Environment",
-    "ReferenceEnvironment",
     "Event",
     "Timeout",
     "Process",
@@ -53,7 +33,6 @@ __all__ = [
     "AllOf",
     "Interrupt",
     "SimulationError",
-    "SimStats",
 ]
 
 
@@ -84,12 +63,6 @@ class Event:
     Processes wait on events by yielding them.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
-
-    #: delay-scheduled subclasses (Timeout) shadow this with a real slot;
-    #: reading it off a plain Event is then a cheap class-attr lookup
-    _delayed_value = None
-
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -109,7 +82,7 @@ class Event:
 
     @property
     def ok(self) -> bool:
-        if self._value is PENDING:
+        if not self.triggered:
             raise SimulationError("event value not yet available")
         return self._ok
 
@@ -121,7 +94,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self._value is not PENDING:
+        if self.triggered:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -130,7 +103,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception to be thrown into waiters."""
-        if self._value is not PENDING:
+        if self.triggered:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -149,26 +122,13 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
-class _Control(Event):
-    """Kernel-internal one-shot event (bootstrap / wake / interrupt kick).
-
-    Only the kernel ever holds a reference once it is scheduled, so
-    :meth:`Environment.step` returns it to the environment's free list
-    right after its callbacks ran.
-    """
-
-    __slots__ = ()
-
-
 class Timeout(Event):
     """An event that triggers ``delay`` simulated seconds after creation."""
-
-    __slots__ = ("delay", "_delayed_value")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        Event.__init__(self, env)
+        super().__init__(env)
         self.delay = delay
         self._delayed_value = value  # applied when the heap pops us
         env._schedule(self, delay)
@@ -181,24 +141,21 @@ class Process(Event):
     the generator becomes the process's event value.
     """
 
-    __slots__ = ("_generator", "name", "_target", "_suspended", "_stash")
-
     def __init__(self, env: "Environment", generator: Generator,
                  name: str = ""):
         if not hasattr(generator, "send"):
             raise SimulationError(
                 f"process target must be a generator, got {generator!r}")
-        Event.__init__(self, env)
+        super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None  # event we are waiting on
         self._suspended = False
         self._stash: Optional[tuple] = None  # (ok, value) deferred wake
         # bootstrap: start the generator at the current time
-        init = env._control()
-        init._value = None
+        init = Event(env)
+        init.succeed()
         init.callbacks.append(self._resume)
-        env._schedule(init)
 
     @property
     def is_alive(self) -> bool:
@@ -240,10 +197,9 @@ class Process(Event):
             proc._suspended = False
             proc._step(Interrupt(cause), throw=True)
 
-        kick = env._control()
-        kick._value = None
+        kick = Event(env)
         kick.callbacks.append(_do_interrupt)
-        env._schedule(kick)
+        kick.succeed()
 
     def kill(self) -> None:
         """Terminate the process immediately without running its finally
@@ -280,7 +236,7 @@ class Process(Event):
         if self._stash is not None:
             ok, value = self._stash
             self._stash = None
-            wake = self.env._control()
+            wake = Event(self.env)
             wake._ok = ok
             wake._value = value
             wake.callbacks.append(self._resume)
@@ -308,8 +264,7 @@ class Process(Event):
             self._step(event._value, throw=True)
 
     def _step(self, value: Any, throw: bool) -> None:
-        env = self.env
-        env._active_process = self
+        self.env._active_process = self
         try:
             if throw:
                 target = self._generator.throw(value)
@@ -318,38 +273,36 @@ class Process(Event):
         except StopIteration as stop:
             self._ok = True
             self._value = stop.value
-            env._schedule(self)
+            self.env._schedule(self)
             return
         except BaseException as exc:
             self._ok = False
             self._value = exc
             self._defused = False
-            env._schedule(self)
+            self.env._schedule(self)
             return
         finally:
-            env._active_process = None
+            self.env._active_process = None
 
-        if target.__class__ is Timeout or isinstance(target, Event):
-            if target.env is not env:
-                raise SimulationError(
-                    "yielded event from a foreign environment")
-        else:
+        if not isinstance(target, Event):
             err = SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}")
             self._generator.throw(err)  # give it a chance; likely propagates
             return
+        if target.env is not self.env:
+            raise SimulationError("yielded event from a foreign environment")
         if target.callbacks is None:
             # already processed: wake immediately (same timestamp).  The
             # wake (not the processed target) is what we are waiting on,
             # so interrupt()/kill() can detach us from it.
-            wake = env._control()
+            wake = Event(self.env)
             wake._ok = target._ok
             wake._value = target._value
             if not target._ok:
                 target._defused = True
             wake.callbacks.append(self._resume)
             self._target = wake
-            env._schedule(wake)
+            self.env._schedule(wake)
         else:
             self._target = target
             target.callbacks.append(self._resume)
@@ -358,10 +311,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
 
-    __slots__ = ("events", "_count")
-
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        Event.__init__(self, env)
+        super().__init__(env)
         self.events = list(events)
         self._count = 0
         if not self.events:
@@ -385,8 +336,6 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers as soon as any child event triggers."""
 
-    __slots__ = ()
-
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -400,8 +349,6 @@ class AnyOf(_Condition):
 class AllOf(_Condition):
     """Triggers once all child events have triggered."""
 
-    __slots__ = ()
-
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -414,64 +361,14 @@ class AllOf(_Condition):
             self.succeed(self._collect())
 
 
-class SimStats:
-    """Kernel counters, fed to ``repro.obs`` (``sim.events`` /
-    ``sim.heap_peak`` / ``sim.batch_size``) and BENCH_sim.
-
-    ``events`` counts every :meth:`Environment.step` pop; ``heap_peak``
-    is the largest combined heap+ready-lane population observed at a
-    pop; a *batch* is a maximal run of events processed at one simulated
-    timestamp (the drain the ready lane accelerates).
-    """
-
-    __slots__ = ("events", "heap_peak", "batches", "_max_batch",
-                 "_cur_batch", "_last_when")
-
-    def __init__(self):
-        self.events = 0
-        self.heap_peak = 0
-        self.batches = 0
-        self._max_batch = 0
-        self._cur_batch = 0
-        self._last_when = None
-
-    @property
-    def max_batch(self) -> int:
-        # the still-open batch counts too: a run that drains in one
-        # timestamp never closes it
-        return max(self._max_batch, self._cur_batch)
-
-    @property
-    def batch_mean(self) -> float:
-        return self.events / self.batches if self.batches else 0.0
-
-    def snapshot(self) -> dict:
-        return {"events": self.events, "heap_peak": self.heap_peak,
-                "batches": self.batches, "max_batch": self.max_batch,
-                "batch_mean": self.batch_mean}
-
-
-#: free-list bound: enough to absorb a 2048-rank wake storm without
-#: pinning memory forever on small runs
-_POOL_MAX = 4096
-
-
 class Environment:
-    """Holds the simulated clock, the time heap, and the ready lane."""
+    """Holds the simulated clock and the pending event heap."""
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
-        #: zero-delay schedules, FIFO == seq order; every entry's time is
-        #: the clock value when it was appended, and the clock cannot pass
-        #: that value while the entry is queued (the entry itself bounds
-        #: the global minimum), so the lane never holds mixed timestamps
-        #: that a heap would order differently
-        self._ready: deque[tuple[float, int, Event]] = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
-        self._pool: list[_Control] = []
-        self.stats = SimStats()
 
     @property
     def now(self) -> float:
@@ -500,82 +397,30 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
 
-    def _control(self) -> _Control:
-        """A recycled (or fresh) kernel-internal one-shot event."""
-        pool = self._pool
-        if pool:
-            evt = pool.pop()
-            evt.callbacks = []
-            evt._value = PENDING
-            evt._ok = True
-            evt._defused = False
-            return evt
-        return _Control(self)
-
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._seq = seq = self._seq + 1
-        if delay == 0.0:
-            self._ready.append((self._now, seq, event))
-        else:
-            heapq.heappush(self._heap, (self._now + delay, seq, event))
-
-    def _pending(self) -> int:
-        """Queued event count (heap + ready lane)."""
-        return len(self._heap) + len(self._ready)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
 
     def step(self) -> None:
-        """Process the single next event (min ``(time, seq)`` across the
-        heap and the ready lane)."""
-        heap = self._heap
-        ready = self._ready
-        if ready:
-            when, seq, event = ready[0]
-            if heap:
-                h0 = heap[0]
-                if h0[0] < when or (h0[0] == when and h0[1] < seq):
-                    when, seq, event = heapq.heappop(heap)
-                else:
-                    ready.popleft()
-            else:
-                ready.popleft()
-        else:
-            when, seq, event = heapq.heappop(heap)
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
-
-        stats = self.stats
-        stats.events += 1
-        n = len(heap) + len(ready) + 1
-        if n > stats.heap_peak:
-            stats.heap_peak = n
-        if when == stats._last_when:
-            stats._cur_batch += 1
-        else:
-            stats._last_when = when
-            stats.batches += 1
-            if stats._cur_batch > stats._max_batch:
-                stats._max_batch = stats._cur_batch
-            stats._cur_batch = 1
-
         self._now = when
         if event._value is PENDING:
             # a delay-scheduled event (Timeout) triggers as it is popped
             event._ok = True
-            event._value = event._delayed_value
-        callbacks = event.callbacks
-        if callbacks is None:
+            event._value = getattr(event, "_delayed_value", None)
+        if event.callbacks is None:
             return  # killed process already finalized
-        event.callbacks = None
+        callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
             raise event._value
-        if event.__class__ is _Control and len(self._pool) < _POOL_MAX:
-            # nothing outside the kernel can still reference it: recycle
-            self._pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
-        """Run until the queues drain, a deadline passes, or an event fires.
+        """Run until the heap drains, a deadline passes, or an event fires.
 
         If ``until`` is an event, returns that event's value (raising if the
         event failed).  If it is a number, simulated time advances exactly to
@@ -585,105 +430,39 @@ class Environment:
         deadline: Optional[float] = None
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.callbacks is None:
+            if stop_event.processed:
                 if not stop_event._ok:
                     raise stop_event._value
                 return stop_event._value
+            flag = {"done": False}
+            stop_event.callbacks.append(lambda _e: flag.__setitem__("done", True))
         elif until is not None:
             deadline = float(until)
             if deadline < self._now:
                 raise SimulationError("deadline is in the past")
 
-        heap = self._heap
-        ready = self._ready
-        step = self.step
-        # An event-loop turn allocates ~30 short-lived objects (frames,
-        # packets, WRs); CPython's default gen-0 threshold (700) makes
-        # the collector walk the young generation every ~25 events, which
-        # costs ~20% of a 2048-rank run.  Widen gen 0 for the duration —
-        # collection still happens, just amortized — and restore on exit.
-        gc_thresholds = gc.get_threshold()
-        if gc_thresholds[0]:
-            gc.set_threshold(200_000, gc_thresholds[1], gc_thresholds[2])
-        try:
-            if stop_event is not None:
-                while (heap or ready) and stop_event.callbacks is not None:
-                    step()
-            elif deadline is not None:
-                while heap or ready:
-                    t = ready[0][0] if ready else heap[0][0]
-                    if heap and heap[0][0] < t:
-                        t = heap[0][0]
-                    if t > deadline:
-                        break
-                    step()
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if deadline is not None and self._heap[0][0] > deadline:
                 self._now = deadline
                 return None
-            else:
-                while heap or ready:
-                    step()
-        finally:
-            gc.set_threshold(*gc_thresholds)
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                break
 
         if stop_event is not None:
-            if stop_event._value is PENDING:
+            if not stop_event.triggered:
                 raise SimulationError(
                     "run(until=event) exhausted the heap before the event fired")
             if not stop_event._ok:
                 stop_event._defused = True
                 raise stop_event._value
             return stop_event._value
+        if deadline is not None:
+            self._now = deadline
         return None
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        if self._ready:
-            t = self._ready[0][0]
-            return min(t, self._heap[0][0]) if self._heap else t
         return self._heap[0][0] if self._heap else float("inf")
-
-
-class ReferenceEnvironment(Environment):
-    """The pre-optimization drain: one pure heap, no free list.
-
-    Property tests run random programs through this and the batched
-    :class:`Environment` and assert the pop order and results are
-    identical — the proof obligation for the ready-lane design.
-    """
-
-    def _control(self) -> _Control:
-        return _Control(self)  # never pooled
-
-    def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
-
-    def step(self) -> None:
-        when, seq, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        stats = self.stats
-        stats.events += 1
-        n = len(self._heap) + 1
-        if n > stats.heap_peak:
-            stats.heap_peak = n
-        if when == stats._last_when:
-            stats._cur_batch += 1
-        else:
-            stats._last_when = when
-            stats.batches += 1
-            if stats._cur_batch > stats._max_batch:
-                stats._max_batch = stats._cur_batch
-            stats._cur_batch = 1
-        self._now = when
-        if event._value is PENDING:
-            event._ok = True
-            event._value = event._delayed_value
-        callbacks = event.callbacks
-        if callbacks is None:
-            return
-        event.callbacks = None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            raise event._value

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""BENCH_sim: simulator scaling gate (pingpong + LU at Table-1 ranks).
+
+Three measurements land in BENCH_sim.json:
+
+* **kernel storm** — the same timeout-storm generator program raced on
+  the vendored pre-PR kernel (``_seed_core.py``, byte-identical to the
+  seed commit) and on ``repro.sim.core``, in the same interpreter.
+  This isolates the event-core speedup from full-stack protocol cost.
+* **pingpong** — N ranks of paired rendezvous exchanges over the full
+  MPI/verbs stack (pure fabric + kernel load).
+* **lu** — NAS LU under DMTCP with one global checkpoint (adds
+  coordinator rounds, the drain protocol, and capture hashing).
+
+"Before" numbers come from ``baseline_sim_seed.json``, recorded with
+the seed kernel on the machine that produced the checked-in
+BENCH_sim.json; re-runs on other hardware should compare their own
+before/after pair (the kernel-storm ratio) rather than absolute seeds.
+To match the baseline's methodology (one scenario per interpreter),
+every (scenario, ranks) entry runs in a fresh subprocess — otherwise
+the heap left behind by a 2048-rank run taxes whatever runs next and
+the events/sec comparison is garbage-collector noise, not kernel
+speed.
+
+Gates (any failure exits non-zero):
+
+* **determinism** — every scenario's ``events`` / ``sim_seconds`` (or
+  ``ckpt_seconds``) / ``checksum`` must match the seed baseline
+  *bit-identically*.  The optimized kernel must replay the seed event
+  stream exactly; this is the non-negotiable gate.
+* **floor** — absolute events/sec floors, set far below healthy numbers
+  so they only trip on a catastrophic kernel regression, not on a slow
+  CI runner.
+
+``--smoke`` runs the 512-rank column only (the CI ``sim-scale`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "baseline_sim_seed.json")
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "BENCH_sim.json")
+
+#: conservative events/sec floors (see module docstring)
+FLOORS = {"pingpong": 15_000.0, "lu": 10_000.0, "storm_new": 150_000.0}
+
+#: per-rank timeout rounds of the kernel storm
+STORM_ROUNDS = 120
+
+
+def _storm_program(environment_cls, ranks: int, rounds: int):
+    """Run the storm on one kernel class; returns (wall, env).
+
+    Every rank interleaves zero-delay timeouts (the ready-lane / same-
+    timestamp drain path) with small staggered delays (the heap path) —
+    the same mix the MPI wire-up storm produces.  Identical generator
+    code runs on both kernels, so the wall-clock ratio is a pure kernel
+    comparison."""
+    env = environment_cls()
+
+    def rank_proc(env, rank):
+        for i in range(rounds):
+            k = (rank + i) % 4
+            if k == 0:
+                yield env.timeout(0.0)
+            else:
+                yield env.timeout(k * 25e-9)
+
+    for rank in range(ranks):
+        env.process(rank_proc(env, rank))
+    t0 = time.perf_counter()
+    env.run()
+    return time.perf_counter() - t0, env
+
+
+def bench_storm(ranks: int, rounds: int = STORM_ROUNDS) -> dict:
+    import _seed_core
+    from repro.sim import core as new_core
+
+    seed_wall, _ = _storm_program(_seed_core.Environment, ranks, rounds)
+    new_wall, env = _storm_program(new_core.Environment, ranks, rounds)
+    events = env.stats.events
+    return {
+        "ranks": ranks, "rounds": rounds, "events": events,
+        "seed_wall": seed_wall, "new_wall": new_wall,
+        "seed_events_per_sec": events / seed_wall if seed_wall else 0.0,
+        "new_events_per_sec": events / new_wall if new_wall else 0.0,
+        "kernel_speedup": seed_wall / new_wall if new_wall else 0.0,
+        "heap_peak": env.stats.heap_peak,
+        "max_batch": env.stats.max_batch,
+    }
+
+
+def _run_one(scenario: str, ranks: int) -> dict:
+    """The ``--one`` worker: run a single entry in this interpreter."""
+    if scenario == "storm":
+        return bench_storm(ranks)
+    from repro.experiments.sim_scale import run_lu, run_pingpong
+    return {"pingpong": run_pingpong, "lu": run_lu}[scenario](ranks)
+
+
+def _run_fresh(scenario: str, ranks: int) -> dict:
+    """Run one entry in a fresh interpreter (see module docstring)."""
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--one", scenario, str(ranks)],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"--one {scenario} {ranks} failed:\n{proc.stderr}")
+    # the worker prints exactly one JSON object on its last line
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _check_determinism(entry: dict, base: dict, sim_key: str,
+                       failures: list) -> bool:
+    """Exact (bit-identical) witness comparison against the seed run."""
+    ok = True
+    for key in ("events", sim_key, "checksum"):
+        if entry[key] != base[key]:
+            failures.append(
+                f"{entry['scenario']}@{entry['ranks']}: {key} "
+                f"{entry[key]!r} != seed {base[key]!r}")
+            ok = False
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="512-rank column only (the CI gate)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write BENCH_sim.json")
+    parser.add_argument("--one", nargs=2, metavar=("SCENARIO", "RANKS"),
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.one:
+        print(json.dumps(_run_one(args.one[0], int(args.one[1]))))
+        return 0
+
+    from repro.experiments.sim_scale import RANK_LADDER
+
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+
+    ladder = (512,) if args.smoke else RANK_LADDER
+    failures: list = []
+    floor_failures: list = []
+    report = {
+        "bench": "sim_scale",
+        "mode": "smoke" if args.smoke else "full",
+        "rounds": {"storm_rounds": STORM_ROUNDS},
+        "baseline": baseline["comment"],
+        "kernel_storm": [], "pingpong": [], "lu": [],
+    }
+
+    for ranks in ladder:
+        storm = _run_fresh("storm", ranks)
+        print(f"storm    {ranks:>5}: seed {storm['seed_wall']:.3f}s, "
+              f"new {storm['new_wall']:.3f}s "
+              f"({storm['kernel_speedup']:.2f}x, "
+              f"{storm['new_events_per_sec']:,.0f} ev/s)")
+        if storm["new_events_per_sec"] < FLOORS["storm_new"]:
+            floor_failures.append(
+                f"storm@{ranks}: {storm['new_events_per_sec']:.0f} ev/s "
+                f"< floor {FLOORS['storm_new']:.0f}")
+        report["kernel_storm"].append(storm)
+
+    for scenario, sim_key in (("pingpong", "sim_seconds"),
+                              ("lu", "ckpt_seconds")):
+        for ranks in ladder:
+            entry = _run_fresh(scenario, ranks)
+            base = baseline[scenario][str(ranks)]
+            entry["before"] = base
+            entry["speedup_vs_seed"] = (
+                entry["events_per_sec"] / base["events_per_sec"]
+                if base["events_per_sec"] else 0.0)
+            entry["deterministic"] = _check_determinism(
+                entry, base, sim_key, failures)
+            if entry["events_per_sec"] < FLOORS[scenario]:
+                floor_failures.append(
+                    f"{scenario}@{ranks}: {entry['events_per_sec']:.0f} "
+                    f"ev/s < floor {FLOORS[scenario]:.0f}")
+            print(f"{scenario:<8} {ranks:>5}: {entry['events']:>9} events, "
+                  f"{entry['wallclock']:.2f}s wall, "
+                  f"{entry['events_per_sec']:,.0f} ev/s "
+                  f"({entry['speedup_vs_seed']:.2f}x vs seed), "
+                  f"deterministic={entry['deterministic']}")
+            report[scenario].append(entry)
+
+    report["gates"] = {
+        "determinism": {"pass": not failures, "failures": failures},
+        "floor": {"pass": not floor_failures, "floors": FLOORS,
+                  "failures": floor_failures},
+    }
+    report["pass"] = not failures and not floor_failures
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"# wrote {args.out}; pass={report['pass']}")
+    if failures:
+        print("# DETERMINISM FAILURES:", *failures, sep="\n#   ")
+    if floor_failures:
+        print("# FLOOR FAILURES:", *floor_failures, sep="\n#   ")
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,18 @@ COORD_PORT = 7779
 
 
 class _ClientHandle:
-    def __init__(self, conn: Connection, name: str):
+    """One connected checkpoint manager.  ``slot`` is the coordinator's
+    dense index for this client (assigned at accept time): all per-rank
+    round state lives in flat arrays indexed by it, so a 2048-rank
+    barrier/drain round costs O(ranks) int ops with no per-message dict
+    or list churn."""
+
+    __slots__ = ("conn", "name", "slot")
+
+    def __init__(self, conn: Connection, name: str, slot: int):
         self.conn = conn
         self.name = name
+        self.slot = slot
 
 
 class Coordinator:
@@ -41,11 +50,19 @@ class Coordinator:
         self.port = port
         self.stack = TcpStack.of(node)
         self.listener = self.stack.listen(port)
+        #: slot-indexed: ``clients[h.slot] is h`` for every handle
         self.clients: List[_ClientHandle] = []
         self.expected = expected_clients
         self.db: Dict[str, Any] = {}
+        #: barrier accounting is a single int counter per live barrier id
+        #: (one dict slot, O(1) per arrival, O(ranks) per round)
         self._barriers: Dict[str, int] = {}
-        self._drain_reports: List[int] = []
+        #: drain round accumulators: total completions + ranks heard from
+        self._drain_total = 0
+        self._drain_n = 0
+        #: per-slot epoch stamp of the last accepted ckpt-done report;
+        #: grown in the accept loop alongside ``clients``
+        self._ckpt_seen: List[int] = []
         self._ckpt_stats: List[dict] = []
         self._ckpt_done_evt: Optional[Event] = None
         #: checkpoint epoch counter: with forked (overlapped) write-back a
@@ -79,8 +96,9 @@ class Coordinator:
             conn = yield self.listener.accept()
             hello = yield conn.recv()
             assert hello["op"] == "hello", hello
-            handle = _ClientHandle(conn, hello["name"])
+            handle = _ClientHandle(conn, hello["name"], len(self.clients))
             self.clients.append(handle)
+            self._ckpt_seen.append(0)
             if (self.expected is not None
                     and len(self.clients) == self.expected
                     and not self._all_connected.triggered):
@@ -111,7 +129,10 @@ class Coordinator:
                 yield from self._drain_status(msg["count"])
             elif op == "ckpt-done":
                 stats = msg["stats"]
-                if stats.get("epoch", self._ckpt_epoch) == self._ckpt_epoch:
+                epoch = self._ckpt_epoch
+                if (stats.get("epoch", epoch) == epoch
+                        and self._ckpt_seen[client.slot] != epoch):
+                    self._ckpt_seen[client.slot] = epoch
                     self._ckpt_stats.append(stats)
                 if (len(self._ckpt_stats) == self._quorum()
                         and self._ckpt_done_evt is not None
@@ -140,14 +161,16 @@ class Coordinator:
     # -- global drain rounds -----------------------------------------------------------
 
     def _drain_status(self, count: int) -> Generator:
-        self._drain_reports.append(count)
-        if len(self._drain_reports) == self._quorum():
-            done = sum(self._drain_reports) == 0
+        self._drain_total += count
+        self._drain_n += 1
+        if self._drain_n == self._quorum():
+            done = self._drain_total == 0
             if self.tracer is not None:
                 self.tracer.emit("coord.drain.verdict", "coord",
                                  self.env.now, done=done,
-                                 total=sum(self._drain_reports))
-            self._drain_reports.clear()
+                                 total=self._drain_total)
+            self._drain_total = 0
+            self._drain_n = 0
             for client in self.clients:
                 yield from client.conn.send(
                     {"op": "drain-verdict", "done": done})

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import pickle
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, Optional
 
@@ -51,6 +51,7 @@ class ImageError(RuntimeError):
 CAPTURE_CHUNK_BYTES = 1 << 20
 
 _pools: Dict[int, ThreadPoolExecutor] = {}
+_proc_pools: Dict[int, ProcessPoolExecutor] = {}
 
 
 def _pool(workers: int) -> ThreadPoolExecutor:
@@ -61,8 +62,38 @@ def _pool(workers: int) -> ThreadPoolExecutor:
     return pool
 
 
+def _process_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _proc_pools.get(workers)
+    if pool is None:
+        pool = _proc_pools[workers] = ProcessPoolExecutor(
+            max_workers=workers)
+    return pool
+
+
 def _zlen(chunk: bytes) -> int:
     return len(zlib.compress(chunk, 1))
+
+
+def _measure_zlens(chunks, workers: int, pool_mode: str):
+    """Per-chunk compressed lengths, serial or fanned out.
+
+    ``pool_mode`` selects the executor for ``workers > 0``: ``"thread"``
+    (zlib releases the GIL, so threads already scale) or ``"process"``
+    (full interpreter parallelism; worth it when per-chunk CPU dominates
+    the pickle cost of shipping chunks to workers).  A process pool that
+    cannot start (sandboxed environments without fork/spawn) falls back
+    to the thread pool — results are identical either way.
+    """
+    if workers > 0 and len(chunks) > 1:
+        if pool_mode == "process":
+            try:
+                return list(_process_pool(workers).map(
+                    _zlen, chunks,
+                    chunksize=max(1, len(chunks) // (4 * workers))))
+            except (OSError, RuntimeError, PermissionError):
+                _proc_pools.pop(workers, None)
+        return list(_pool(workers).map(_zlen, chunks))
+    return [_zlen(c) for c in chunks]
 
 
 @dataclass
@@ -107,13 +138,15 @@ class CheckpointImage:
                 gzip: bool = True, checkpointer: str = "dmtcp",
                 header_bytes: float = 0.0,
                 prev: Optional["CheckpointImage"] = None,
-                workers: int = 0, tracer=None,
+                workers: int = 0, pool_mode: str = "thread", tracer=None,
                 t_sim: float = 0.0) -> "CheckpointImage":
         """Capture ``memory``, incrementally against ``prev`` if given.
 
         ``workers`` > 0 fans dirty-region compression measurement out over
-        a shared thread pool; 0 keeps the pipeline serial (chunked either
-        way).  The restored memory is bit-identical in every mode.
+        a shared pool — ``pool_mode="thread"`` (default) or ``"process"``
+        for full interpreter parallelism; 0 keeps the pipeline serial
+        (chunked either way).  The restored memory is bit-identical in
+        every mode.
 
         ``tracer``/``t_sim`` come from the caller (``DmtcpProcess``
         passes its class-wide tracer and ``env.now``): this module never
@@ -135,7 +168,8 @@ class CheckpointImage:
             prev_meta = prev.region_meta
 
         stats = {"mode": "incremental" if prev is not None else "full",
-                 "workers": workers, "regions_total": 0,
+                 "workers": workers, "pool_mode": pool_mode,
+                 "regions_total": 0,
                  "regions_clean_gen": 0, "regions_clean_hash": 0,
                  "regions_dirty": 0, "bytes_clean": 0, "bytes_dirty": 0,
                  "bytes_hashed": 0, "logical_hashed": 0.0,
@@ -279,10 +313,8 @@ class CheckpointImage:
             for j, (_entry, data) in enumerate(measure_jobs):
                 for off in range(0, len(data), CAPTURE_CHUNK_BYTES):
                     chunks.append((j, data[off:off + CAPTURE_CHUNK_BYTES]))
-            if workers > 0 and len(chunks) > 1:
-                zlens = _pool(workers).map(_zlen, [c for _j, c in chunks])
-            else:
-                zlens = (_zlen(c) for _j, c in chunks)
+            zlens = _measure_zlens([c for _j, c in chunks], workers,
+                                   pool_mode)
             compressed = [0] * len(measure_jobs)
             for (j, _c), zl in zip(chunks, zlens):
                 compressed[j] += zl

@@ -124,7 +124,7 @@ class DmtcpProcess:
                  gzip: bool = True, ckpt_dir: str = "/tmp",
                  disk_kind: str = "local", node_index: int = 0,
                  incremental: bool = False, ckpt_workers: int = 0,
-                 store=None):
+                 ckpt_pool: str = "thread", store=None):
         self.host = host
         self.env = host.env
         self.name = name
@@ -140,6 +140,9 @@ class DmtcpProcess:
         self.incremental = incremental
         #: worker threads for dirty-region compression (0 = serial)
         self.ckpt_workers = ckpt_workers
+        #: "thread" (default) or "process" — executor kind for the
+        #: compression-ratio measurement fan-out in capture()
+        self.ckpt_pool = ckpt_pool
         #: optional repro.store.CheckpointStore: images land as
         #: content-addressed chunks on the local tier (async replication
         #: is the coordinator's job) instead of one monolithic file
@@ -269,6 +272,7 @@ class DmtcpProcess:
             hca_vendor=hca_vendor, memory=self.host.memory,
             gzip=self.gzip, header_bytes=self.costs.image_header_bytes,
             prev=prev, workers=self.ckpt_workers,
+            pool_mode=self.ckpt_pool,
             tracer=tracer, t_sim=self.env.now)
         # incremental scan: hash-verifying candidate-clean memory costs time
         scan_seconds = self.costs.hash_seconds(
@@ -453,7 +457,8 @@ class DmtcpProcess:
                 image: CheckpointImage, costs: CostModel,
                 coord_host: str, coord_port: int,
                 disk_kind: str = "local", incremental: bool = False,
-                ckpt_workers: int = 0, store=None) -> "DmtcpProcess":
+                ckpt_workers: int = 0, ckpt_pool: str = "thread",
+                store=None) -> "DmtcpProcess":
         """Build the restarted process object (dmtcp_restart runs
         :meth:`restart_flow` on it afterwards)."""
         cont = record.continuation
@@ -461,7 +466,8 @@ class DmtcpProcess:
                    world=cont.appctx.world, plugins=cont.plugins,
                    costs=costs, gzip=image.gzip, disk_kind=disk_kind,
                    node_index=record.node_index, incremental=incremental,
-                   ckpt_workers=ckpt_workers, store=store)
+                   ckpt_workers=ckpt_workers, ckpt_pool=ckpt_pool,
+                   store=store)
         # the restored process lives at the original virtual addresses:
         # adopt the old address space and overwrite it with image bytes
         image.restore_memory(cont.memory)

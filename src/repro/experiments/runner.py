@@ -163,6 +163,9 @@ def run_nas(app: Callable, spec: HardwareSpec, nprocs: int,
     outcome.results = results
     outcome.runtime = max(r.projected_runtime() for r in results)
     outcome.checksum = results[0].checksum
+    stats = getattr(env, "stats", None)
+    if stats is not None:  # kernel counters for obs / BENCH_sim
+        outcome.extra["sim_stats"] = stats.snapshot()
     return outcome
 
 
@@ -228,4 +231,7 @@ def run_upc_nas(app: Callable, spec: HardwareSpec, threads: int,
     outcome.results = results
     outcome.runtime = max(r.projected_runtime() for r in results)
     outcome.checksum = results[0].checksum
+    stats = getattr(env, "stats", None)
+    if stats is not None:  # kernel counters for obs / BENCH_sim
+        outcome.extra["sim_stats"] = stats.snapshot()
     return outcome

@@ -103,6 +103,9 @@ class ChaosOutcome:
     #: ChunkSan.summary() when the run was made with chunksan=True (the
     #: run raising no ChunkSanError IS the verdict; this records volume)
     chunksan: Optional[Dict[str, Any]] = None
+    #: event-kernel counters (``Environment.stats.snapshot()``): events
+    #: processed, heap peak, same-timestamp batch shape
+    sim_stats: Optional[Dict[str, Any]] = None
 
     @property
     def completion_seconds(self) -> float:
@@ -194,7 +197,9 @@ def run_chaos_nas(app: str = "lu", klass: str = "A", nprocs: int = 4,
         failures=list(injector.records),
         protocol=monitor.summary() if monitor is not None else None,
         trace_events=tracer.events if tracer is not None else None,
-        chunksan=san.summary() if san is not None else None)
+        chunksan=san.summary() if san is not None else None,
+        sim_stats=env.stats.snapshot()
+        if getattr(env, "stats", None) is not None else None)
 
 
 def verify_restart_path(seed: int = 2014, klass: str = "A",

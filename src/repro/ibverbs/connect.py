@@ -18,12 +18,23 @@ __all__ = ["qp_to_init", "qp_to_rtr", "qp_to_rts", "connect_pair"]
 _FULL_ACCESS = (AccessFlags.LOCAL_WRITE | AccessFlags.REMOTE_WRITE
                 | AccessFlags.REMOTE_READ)
 
+# the modify_qp ladder runs once per QP but there are O(ranks) QPs per
+# rank at scale; build each rung's mask once instead of per call
+_INIT_MASK = (QpAttrMask.STATE | QpAttrMask.PKEY_INDEX
+              | QpAttrMask.PORT | QpAttrMask.ACCESS_FLAGS)
+_RTR_MASK = (QpAttrMask.STATE | QpAttrMask.PATH_MTU
+             | QpAttrMask.DEST_QPN | QpAttrMask.AV
+             | QpAttrMask.RQ_PSN | QpAttrMask.MAX_QP_RD_ATOMIC
+             | QpAttrMask.MIN_RNR_TIMER)
+_RTS_MASK = (QpAttrMask.STATE | QpAttrMask.SQ_PSN
+             | QpAttrMask.TIMEOUT | QpAttrMask.RETRY_CNT
+             | QpAttrMask.RNR_RETRY)
+
 
 def qp_to_init(lib, qp: ibv_qp, access: AccessFlags = _FULL_ACCESS) -> None:
     attr = ibv_qp_attr(qp_state=QpState.INIT, pkey_index=0, port_num=1,
                        qp_access_flags=access)
-    lib.modify_qp(qp, attr, QpAttrMask.STATE | QpAttrMask.PKEY_INDEX
-                  | QpAttrMask.PORT | QpAttrMask.ACCESS_FLAGS)
+    lib.modify_qp(qp, attr, _INIT_MASK)
 
 
 def qp_to_rtr(lib, qp: ibv_qp, dest_qp_num: int, dlid: int,
@@ -31,18 +42,13 @@ def qp_to_rtr(lib, qp: ibv_qp, dest_qp_num: int, dlid: int,
     attr = ibv_qp_attr(qp_state=QpState.RTR, path_mtu=4096,
                        dest_qp_num=dest_qp_num, dlid=dlid, rq_psn=rq_psn,
                        max_rd_atomic=1, min_rnr_timer=12)
-    lib.modify_qp(qp, attr, QpAttrMask.STATE | QpAttrMask.PATH_MTU
-                  | QpAttrMask.DEST_QPN | QpAttrMask.AV
-                  | QpAttrMask.RQ_PSN | QpAttrMask.MAX_QP_RD_ATOMIC
-                  | QpAttrMask.MIN_RNR_TIMER)
+    lib.modify_qp(qp, attr, _RTR_MASK)
 
 
 def qp_to_rts(lib, qp: ibv_qp, sq_psn: int = 0) -> None:
     attr = ibv_qp_attr(qp_state=QpState.RTS, sq_psn=sq_psn, timeout=14,
                        retry_cnt=7, rnr_retry=7)
-    lib.modify_qp(qp, attr, QpAttrMask.STATE | QpAttrMask.SQ_PSN
-                  | QpAttrMask.TIMEOUT | QpAttrMask.RETRY_CNT
-                  | QpAttrMask.RNR_RETRY)
+    lib.modify_qp(qp, attr, _RTS_MASK)
 
 
 def connect_pair(lib_a, qp_a: ibv_qp, lid_a: int,

@@ -144,7 +144,7 @@ class ibv_qp:
     _hw: Any = None     # hardware queue pair (transport engine)
 
 
-@dataclass
+@dataclass(slots=True)
 class ibv_sge:
     """Scatter/gather element: a slice of registered memory."""
 
@@ -153,7 +153,7 @@ class ibv_sge:
     lkey: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ibv_send_wr:
     wr_id: int
     sg_list: List[ibv_sge]
@@ -174,7 +174,7 @@ class ibv_send_wr:
             _inline_data=self._inline_data)
 
 
-@dataclass
+@dataclass(slots=True)
 class ibv_recv_wr:
     wr_id: int
     sg_list: List[ibv_sge]
@@ -183,7 +183,7 @@ class ibv_recv_wr:
         return ibv_recv_wr(wr_id=self.wr_id, sg_list=list(self.sg_list))
 
 
-@dataclass
+@dataclass(slots=True)
 class ibv_wc:
     """Work completion."""
 
@@ -197,7 +197,7 @@ class ibv_wc:
     wc_flags: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ibv_qp_attr:
     """Attributes for ibv_modify_qp (subset; mask selects valid fields)."""
 
@@ -217,7 +217,14 @@ class ibv_qp_attr:
     rnr_retry: int = 7
 
     def copy(self) -> "ibv_qp_attr":
-        return ibv_qp_attr(**self.__dict__)
+        return ibv_qp_attr(
+            qp_state=self.qp_state, pkey_index=self.pkey_index,
+            port_num=self.port_num, qp_access_flags=self.qp_access_flags,
+            path_mtu=self.path_mtu, dest_qp_num=self.dest_qp_num,
+            rq_psn=self.rq_psn, sq_psn=self.sq_psn, dlid=self.dlid,
+            max_rd_atomic=self.max_rd_atomic,
+            min_rnr_timer=self.min_rnr_timer, timeout=self.timeout,
+            retry_cnt=self.retry_cnt, rnr_retry=self.rnr_retry)
 
 
 @dataclass

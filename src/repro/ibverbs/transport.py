@@ -49,6 +49,7 @@ __all__ = ["DriverSession", "QpHardware", "CqHardware", "SrqHardware",
            "ACK_BYTES", "RNR_TIMER_S"]
 
 ACK_BYTES = 64.0        # logical wire size of an ACK / NAK / read request
+_F_SIGNALED = SendFlags.SIGNALED._value_  # raw bit: skip IntFlag.__and__
 RNR_TIMER_S = 0.12e-3   # receiver-not-ready retry timer
 
 
@@ -370,7 +371,7 @@ class QpHardware:
                        opcode: WcOpcode = WcOpcode.SEND,
                        byte_len: int = 0) -> None:
         signaled = (self.qp_struct.sq_sig_all
-                    or bool(wr.send_flags & SendFlags.SIGNALED))
+                    or bool(wr.send_flags._value_ & _F_SIGNALED))
         if status is WcStatus.SUCCESS and not signaled:
             return
         wc = ibv_wc(wr_id=wr.wr_id, status=status, opcode=opcode,

@@ -50,6 +50,17 @@ __all__ = ["VerbsLib"]
 
 _pd_handles = itertools.count(0x10)
 
+# raw mask bits: IntFlag ``&`` builds a new flag instance per use, which
+# is measurable at O(ranks) QPs x 8 mask tests — compare plain ints instead
+_M_STATE = QpAttrMask.STATE._value_
+_M_AV = QpAttrMask.AV._value_
+_M_DEST_QPN = QpAttrMask.DEST_QPN._value_
+_M_RNR_RETRY = QpAttrMask.RNR_RETRY._value_
+_M_RETRY_CNT = QpAttrMask.RETRY_CNT._value_
+_M_TIMEOUT = QpAttrMask.TIMEOUT._value_
+_M_MIN_RNR_TIMER = QpAttrMask.MIN_RNR_TIMER._value_
+_F_INLINE = SendFlags.INLINE._value_
+
 
 class _Blob:
     """Hidden device-dependent driver state carried by real structs."""
@@ -196,7 +207,8 @@ class VerbsLib:
                   mask: QpAttrMask) -> None:
         session = self._session(qp)
         hw: QpHardware = qp._hw
-        if mask & QpAttrMask.STATE:
+        m = mask._value_
+        if m & _M_STATE:
             new = attr.qp_state
             # one shared transition table (enums.LEGAL_QP_TRANSITIONS) —
             # the runtime ProtocolMonitor validates against the same one
@@ -204,24 +216,23 @@ class VerbsLib:
                 raise VerbsError(
                     f"illegal QP transition {qp.state.name} -> {new.name}")
             if new is QpState.RTR and qp.qp_type is QpType.RC:
-                if not (mask & QpAttrMask.DEST_QPN
-                        and mask & QpAttrMask.AV):
+                if not (m & _M_DEST_QPN and m & _M_AV):
                     raise VerbsError(
                         "INIT->RTR requires DEST_QPN and AV (dlid)")
             qp.state = new
-        if mask & QpAttrMask.DEST_QPN or mask & QpAttrMask.AV:
-            dlid = attr.dlid if mask & QpAttrMask.AV else (
+        if m & _M_DEST_QPN or m & _M_AV:
+            dlid = attr.dlid if m & _M_AV else (
                 hw.dest[0] if hw.dest else 0)
-            dqpn = attr.dest_qp_num if mask & QpAttrMask.DEST_QPN else (
+            dqpn = attr.dest_qp_num if m & _M_DEST_QPN else (
                 hw.dest[1] if hw.dest else 0)
             hw.set_dest(dlid, dqpn)
-        if mask & QpAttrMask.RNR_RETRY:
+        if m & _M_RNR_RETRY:
             hw.attrs["rnr_retry"] = attr.rnr_retry
-        if mask & QpAttrMask.RETRY_CNT:
+        if m & _M_RETRY_CNT:
             hw.attrs["retry_cnt"] = attr.retry_cnt
-        if mask & QpAttrMask.TIMEOUT:
+        if m & _M_TIMEOUT:
             hw.attrs["timeout"] = attr.timeout
-        if mask & QpAttrMask.MIN_RNR_TIMER:
+        if m & _M_MIN_RNR_TIMER:
             hw.attrs["min_rnr_timer"] = attr.min_rnr_timer
         if qp.state is QpState.RTS:
             hw.start_engine()
@@ -245,7 +256,7 @@ class VerbsLib:
     def _drv_post_send(self, qp: ibv_qp, wr: ibv_send_wr) -> None:
         session = self._session(qp)
         wr = wr.copy()
-        if wr.send_flags & SendFlags.INLINE:
+        if wr.send_flags._value_ & _F_INLINE:
             total = sum(s.length for s in wr.sg_list)
             if total > qp.cap_max_inline_data:
                 raise VerbsError("inline data exceeds max_inline_data")
@@ -283,5 +294,7 @@ class VerbsLib:
             raise StaleResourceError(
                 f"{type(struct).__name__} has no driver state (shadow "
                 "struct passed to the real library?)")
-        blob.session.check_live()
-        return blob.session
+        session = blob.session
+        if not session.live:
+            session.check_live()  # raises the canonical stale error
+        return session

@@ -165,17 +165,28 @@ class Region:
         if self._chunk_hashes is None or len(self._chunk_hashes) != n:
             self._chunk_hashes = [None] * n
             self._chunk_hash_gens = np.full(n, -1, dtype=np.int64)
+        hashes = self._chunk_hashes
+        hash_gens = self._chunk_hash_gens
+        if self.views_leaked:
+            stale = range(n)
+        else:
+            # vectorized staleness test: one array compare replaces the
+            # per-chunk Python loop.  Fresh digests have stamp -1, never a
+            # valid generation, so "stamp != gen" covers both "never
+            # hashed" and "mutated since hashed".  All-clean (the common
+            # incremental-capture case) returns without touching a chunk.
+            stale_mask = hash_gens != gens
+            if not stale_mask.any():
+                return list(hashes)
+            stale = np.nonzero(stale_mask)[0].tolist()
         buf = memoryview(self.buffer)
-        for i in range(n):
-            if (not self.views_leaked
-                    and self._chunk_hashes[i] is not None
-                    and self._chunk_hash_gens[i] == gens[i]):
-                continue
+        blake2b = hashlib.blake2b
+        for i in stale:
             lo = i * CHUNK_BYTES
-            self._chunk_hashes[i] = hashlib.blake2b(
+            hashes[i] = blake2b(
                 buf[lo: lo + CHUNK_BYTES], digest_size=16).digest()
-            self._chunk_hash_gens[i] = gens[i]
-        return list(self._chunk_hashes)
+            hash_gens[i] = gens[i]
+        return list(hashes)
 
     def content_hash(self) -> bytes:
         """Digest of the current bytes, cached while provably valid.

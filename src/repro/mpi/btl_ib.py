@@ -65,6 +65,7 @@ class IbBtl:
                                       CTRL_SLOT * _N_CTRL_SLOTS)
         self.ctrl_mr = ibv.reg_mr(self.pd, self.ctrl.addr,
                                   self.ctrl.size, _FULL)
+        self._ctrl_wrs = self._make_ctrl_wrs()
         for slot in range(_N_CTRL_SLOTS):
             self._post_ctrl_slot(slot)
         # send staging ring for control messages
@@ -204,6 +205,7 @@ class IbBtl:
                                   _FULL)
         self.stage_mr = ibv.reg_mr(self.pd, self.stage.addr,
                                    self.stage.size, _FULL)
+        self._ctrl_wrs = self._make_ctrl_wrs()  # new lkey after re-reg
         for slot in range(_N_CTRL_SLOTS):
             self._post_ctrl_slot(slot)
 
@@ -272,10 +274,19 @@ class IbBtl:
 
     # -- progress engine ---------------------------------------------------------------------
 
+    def _make_ctrl_wrs(self) -> List[ibv_recv_wr]:
+        """Per-slot receive WR templates.  The driver copies at post time
+        (verbs semantics: the WR is consumed by ``post``), so re-posting
+        the same template on slot re-arm is safe — and skips two object
+        constructions per control message.  Rebuilt whenever ``ctrl_mr``
+        is re-registered (CRS teardown/rebuild), since the lkey changes."""
+        return [ibv_recv_wr(wr_id=slot, sg_list=[
+                    ibv_sge(self.ctrl.addr + slot * CTRL_SLOT, CTRL_SLOT,
+                            self.ctrl_mr.lkey)])
+                for slot in range(_N_CTRL_SLOTS)]
+
     def _post_ctrl_slot(self, slot: int) -> None:
-        self.ctx.ibv.post_srq_recv(self.srq, ibv_recv_wr(
-            wr_id=slot, sg_list=[ibv_sge(self.ctrl.addr + slot * CTRL_SLOT,
-                                         CTRL_SLOT, self.ctrl_mr.lkey)]))
+        self.ctx.ibv.post_srq_recv(self.srq, self._ctrl_wrs[slot])
 
     def stop(self) -> None:
         self._stopped = True

@@ -16,8 +16,8 @@ import argparse
 import json
 
 from .invariants import check_trace_invariants
-from .report import (decompose, render, render_store, store_summary,
-                     trace_scenario)
+from .report import (decompose, render, render_sim, render_store,
+                     store_summary, trace_scenario)
 from .trace import load_trace
 
 
@@ -50,11 +50,16 @@ def main(argv=None) -> int:
                           "dirty-tracking counters")
     rep.add_argument("--sink", metavar="PATH", default=None,
                      help="also write the trace as JSONL to PATH")
+    rep.add_argument("--sim", action="store_true",
+                     help="also report event-kernel counters (sim.events, "
+                          "heap peak, timestamp-batch shape); live runs "
+                          "only")
     rep.add_argument("--json", action="store_true",
                      help="emit the decomposition as JSON")
     args = parser.parse_args(argv)
 
     counters = {}
+    sim_stats = None
     if args.trace is not None:
         events = load_trace(args.trace)
         dropped = 0
@@ -70,6 +75,8 @@ def main(argv=None) -> int:
                     tracer.metrics.snapshot()["counters"].items()
                     if n.startswith("ckpt.chunks_")
                     or n == "ckpt.hash_skipped"}
+        if args.sim:
+            sim_stats = outcome.sim_stats
         print(f"# {args.run.upper()} completed in "
               f"{outcome.completion_seconds:.3f}s (sim): "
               f"{outcome.recovery.n_checkpoints} checkpoint(s), "
@@ -86,6 +93,8 @@ def main(argv=None) -> int:
             payload["store"] = store
         if counters:
             payload["counters"] = counters
+        if sim_stats is not None:
+            payload["sim"] = sim_stats
         print(json.dumps(payload, indent=2))
     else:
         print(render(decomp))
@@ -93,6 +102,8 @@ def main(argv=None) -> int:
             print("# counters: " + ", ".join(
                 f"{name}={value:.0f}"
                 for name, value in sorted(counters.items())))
+        if sim_stats is not None:
+            print(render_sim(sim_stats))
         if store_active:
             print(render_store(store))
         if violations:

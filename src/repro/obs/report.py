@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 __all__ = ["decompose", "migration_summary", "render", "render_migration",
-           "render_store", "store_summary", "trace_scenario"]
+           "render_sim", "render_store", "store_summary", "trace_scenario"]
 
 _PHASES = ("quiesce", "drain", "capture", "compress", "write",
            "refill", "replay")
@@ -346,6 +346,14 @@ def render_migration(summary: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def render_sim(stats: Dict[str, Any]) -> str:
+    """One-line event-kernel summary from ``Environment.stats`` counters
+    (``sim.events`` / ``sim.heap_peak`` / ``sim.batch_size``)."""
+    return ("# sim kernel: {events:.0f} events, heap peak {heap_peak:.0f}, "
+            "{batches:.0f} timestamp batches "
+            "(max {max_batch:.0f}, mean {batch_mean:.2f})").format(**stats)
+
+
 def trace_scenario(app: str = "lu", seed: int = 2014,
                    iters_sim: int = 24, nprocs: int = 4,
                    ckpt_interval: float = 1.0, crash_at: Optional[float]
@@ -372,4 +380,9 @@ def trace_scenario(app: str = "lu", seed: int = 2014,
             seed=seed, ckpt_interval=ckpt_interval,
             schedule=FixedSchedule(failures), use_store=store,
             incremental=incremental, backoff_base=0.25)
+    if outcome.sim_stats is not None:
+        stats = outcome.sim_stats
+        tracer.metrics.counter("sim.events").inc(stats["events"])
+        tracer.metrics.counter("sim.heap_peak").inc(stats["heap_peak"])
+        tracer.metrics.counter("sim.batch_size").inc(stats["max_batch"])
     return tracer, outcome

@@ -7,6 +7,8 @@ from .core import (
     Event,
     Interrupt,
     Process,
+    ReferenceEnvironment,
+    SimStats,
     SimulationError,
     Timeout,
 )
@@ -20,8 +22,10 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "ReferenceEnvironment",
     "Resource",
     "RngFactory",
+    "SimStats",
     "SimulationError",
     "Store",
     "Timeout",
