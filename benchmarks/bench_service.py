@@ -1,0 +1,225 @@
+"""Bench: the shared multi-tenant checkpoint service (repro.service).
+
+Four measurements, written to ``BENCH_service.json``:
+
+**stream** — a Poisson arrival stream of >= 100 gang-scheduled jobs
+(ml/lu/pingpong mix over three tenants, one of them quota-capped)
+checkpointing into one shared :class:`CheckpointService`.  Reports store
+ingest throughput, p50/p99 per-image put latency, the cross-job dedup
+ratio, and per-tenant quota-rejection counts.  Gates: dedup ratio <= 0.5x
+naive bytes (the ISSUE acceptance bar — the ML jobs share one dataset),
+the quota-capped tenant was actually rejected, every uncapped job
+completed, and the tenant ledgers balance.
+
+**determinism** — the same stream replayed under the same seed must
+reproduce the completion order, every job checksum, and the dedup ratio
+bit-for-bit.
+
+**preempt** — a small contended scenario with a scheduling quantum so the
+gang scheduler preempts via checkpoint; every preempted job's final
+checksum must equal its solo (never-preempted) run's checksum.
+
+**throughput floor** — the stream's sim-domain ingest rate must clear a
+conservative floor (wall-clock throughput is reported but not gated).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+        [--out BENCH_service.json]
+
+Exits non-zero when an acceptance check fails (the CI service job runs
+``--smoke``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import service_scenario  # noqa: E402
+
+#: ISSUE acceptance bar: physical bytes written by the shared store for
+#: the >= 100-job stream must be at most half what a dedup-free store
+#: would write for the same admitted traffic
+MAX_DEDUP_RATIO = 0.50
+
+#: conservative sim-domain ingest floor in *logical* (pre-dedup) bytes
+#: admitted per simulated second — physical write rate would punish good
+#: dedup, since better sharing means fewer unique chunks hit the disks;
+#: the measured rate is ~4x this
+SIM_THROUGHPUT_FLOOR = 20e6
+
+#: logical-byte quota that starves the capped tenant after a few images
+TINY_QUOTA = 1.5e6
+
+
+def _stream_kwargs(smoke: bool, seed: int) -> dict:
+    return dict(
+        seed=seed,
+        n_jobs=18 if smoke else 100,
+        total_nodes=8,
+        quantum=None,
+        tenants=("acme", "umass", "tiny"),
+        # 4-long shape cycle vs 3 tenants: coprime, so every tenant sees
+        # every workload (3x3 would pin each tenant to one shape and the
+        # capped tenant could land on pingpong, which finishes before its
+        # first checkpoint ever reaches admission)
+        shapes=(("ml", "S"), ("lu", "A"), ("pingpong", "S"),
+                ("ml", "S")),
+        quotas={"tiny": TINY_QUOTA},
+        non_preemptible_tenants=("tiny",),
+        mean_interarrival=0.3,
+        iters_sim=2,
+        ckpt_interval=1.0,
+    )
+
+
+def stream_bench(smoke: bool, seed: int) -> dict:
+    t0 = time.time()
+    run = service_scenario(**_stream_kwargs(smoke, seed))
+    wall = time.time() - t0
+    service = run["service"]
+    outcomes = run["outcomes"]
+    summary = run["summary"]
+    makespan = run["env"].now
+    rejections = dict(service.admission.job_rejections)
+    capped = [o for o in outcomes if o.tenant == "tiny"]
+    uncapped = [o for o in outcomes if o.tenant != "tiny"]
+    return {
+        "jobs": len(outcomes),
+        "jobs_ok": sum(1 for o in outcomes if o.ok),
+        "uncapped_ok": all(o.ok for o in uncapped),
+        "capped_jobs": len(capped),
+        "makespan_sim": makespan,
+        "wall_seconds": wall,
+        "jobs_per_wall_second": len(outcomes) / wall if wall else 0.0,
+        "sim_ingest_bytes_per_second":
+            summary["bytes_naive"] / makespan if makespan else 0.0,
+        "sim_write_bytes_per_second":
+            summary["bytes_written"] / makespan if makespan else 0.0,
+        "put_latency": service.put_latency_quantiles(),
+        "dedup_ratio": summary["dedup_ratio"],
+        "bytes_written": summary["bytes_written"],
+        "bytes_naive": summary["bytes_naive"],
+        "puts": summary["puts"],
+        "puts_rejected": summary["puts_rejected"],
+        "quota_rejections": rejections,
+        "ledger": run["ledger"],
+        "completion_order": run["completion_order"],
+        "checksums": run["checksums"],
+    }
+
+
+def determinism_bench(first: dict, smoke: bool, seed: int) -> dict:
+    replay = stream_bench(smoke, seed)
+    return {
+        "order_identical":
+            replay["completion_order"] == first["completion_order"],
+        "checksums_identical": replay["checksums"] == first["checksums"],
+        "dedup_identical":
+            replay["dedup_ratio"] == first["dedup_ratio"],
+        "rejections_identical":
+            replay["quota_rejections"] == first["quota_rejections"],
+    }
+
+
+def preempt_bench() -> dict:
+    """Preempted jobs must restart bit-identical: same final checksum as
+    a run that was never preempted."""
+    contended = dict(seed=11, n_jobs=3, total_nodes=2, quantum=0.2,
+                     mean_interarrival=0.3, iters_sim=3)
+    run = service_scenario(**contended)
+    # same stream with room for everyone: nothing queues, nothing preempts
+    solo = service_scenario(**{**contended, "quantum": None,
+                               "total_nodes": 16})
+    assert all(o.n_preemptions == 0 for o in solo["outcomes"])
+    preempted = [o for o in run["outcomes"] if o.n_preemptions > 0]
+    matches = {
+        o.name: run["checksums"][o.name] == solo["checksums"][o.name]
+        for o in preempted}
+    return {
+        "jobs": len(run["outcomes"]),
+        "preemptions": sum(o.n_preemptions for o in run["outcomes"]),
+        "preempted_jobs": sorted(matches),
+        "checksum_matches": matches,
+        "all_ok": all(o.ok for o in run["outcomes"]),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="shared multi-tenant checkpoint service benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configuration for CI (seconds)")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    stream = stream_bench(args.smoke, args.seed)
+    determinism = determinism_bench(stream, args.smoke, args.seed)
+    preempt = preempt_bench()
+    report = {
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "stream": {k: v for k, v in stream.items()
+                   if k not in ("completion_order", "checksums")},
+        "determinism": determinism,
+        "preempt": preempt,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    lat = stream["put_latency"]
+    print(f"# stream: {stream['jobs']} jobs over 3 tenants, "
+          f"{stream['puts']} puts ({stream['puts_rejected']} rejected), "
+          f"makespan {stream['makespan_sim']:.1f}s sim / "
+          f"{stream['wall_seconds']:.1f}s wall")
+    print(f"# ingest {stream['sim_ingest_bytes_per_second'] / 1e6:.1f} "
+          f"MB/s logical ({stream['sim_write_bytes_per_second'] / 1e6:.1f}"
+          f" MB/s physical) sim, put latency p50 "
+          f"{lat['p50'] * 1e3:.2f}ms / p99 {lat['p99'] * 1e3:.2f}ms sim, "
+          f"{stream['jobs_per_wall_second']:.1f} jobs/s wall")
+    print(f"# dedup: {stream['bytes_written'] / 1e6:.2f} MB written vs "
+          f"{stream['bytes_naive'] / 1e6:.2f} MB naive -> "
+          f"{stream['dedup_ratio']:.3f}x")
+    print(f"# quota rejections: {stream['quota_rejections']}")
+    print(f"# preempt: {preempt['preemptions']} preemption(s) across "
+          f"{preempt['jobs']} jobs; bit-identity "
+          f"{preempt['checksum_matches']}")
+
+    ledgers_balanced = all(
+        abs(row["bytes_admitted"]
+            - (row["bytes_stored"] + row["bytes_rejected"]))
+        <= max(1.0, 1e-6 * row["bytes_admitted"])
+        for row in stream["ledger"].values())
+    checks = {
+        f"cross-job dedup ratio <= {MAX_DEDUP_RATIO}x naive bytes":
+            stream["dedup_ratio"] <= MAX_DEDUP_RATIO,
+        "every uncapped job completed ok": stream["uncapped_ok"],
+        "quota-capped tenant saw rejections":
+            stream["puts_rejected"] > 0
+            and any(stream["quota_rejections"].values()),
+        "tenant ledgers balance": ledgers_balanced,
+        "same-seed replay identical": all(determinism.values()),
+        "preempted jobs restart bit-identical":
+            preempt["preemptions"] > 0
+            and all(preempt["checksum_matches"].values())
+            and preempt["all_ok"],
+        f"sim logical ingest >= {SIM_THROUGHPUT_FLOOR / 1e6:.0f} MB/s":
+            stream["sim_ingest_bytes_per_second"]
+            >= SIM_THROUGHPUT_FLOOR,
+    }
+    ok = all(checks.values())
+    for name, passed in checks.items():
+        print(f"# {'PASS' if passed else 'FAIL'}: {name}")
+    print(f"# report -> {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,7 +78,7 @@ _REAL_STRUCTS = frozenset({
 
 _SHADOW_PREFIXES = ("ibverbs/", "core/")
 _DETERMINISTIC_PREFIXES = ("sim/", "faults/", "dmtcp/", "core/", "store/",
-                           "migrate/", "memory/")
+                           "migrate/", "memory/", "service/")
 _ID_ATTRS = frozenset({"qp_num", "lid", "dlid", "rkey", "lkey"})
 _WALLCLOCK_TIME = frozenset({
     "time", "monotonic", "perf_counter", "process_time",

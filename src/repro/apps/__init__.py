@@ -1,1 +1,6 @@
-"""Applications: the OFED-style ping-pong and the NAS parallel benchmarks."""
+"""Applications: the OFED-style ping-pong, the NAS parallel benchmarks,
+and an allreduce-style ML training loop."""
+
+from .ml import ML, MlSpec, ml_app
+
+__all__ = ["ML", "MlSpec", "ml_app"]

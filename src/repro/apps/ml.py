@@ -1,0 +1,171 @@
+"""An allreduce-style data-parallel training loop (the ML workload).
+
+Each rank holds a full replica of a dense parameter block (weights plus
+two optimizer moments — the Adam-shaped 3x) and a read-only shard of a
+common dataset.  A step computes gradients (charged flops), moves the
+bucketed ring-allreduce volume ``2·(p-1)/p · |params|`` through genuine
+isend/irecv traffic with the ring neighbours, folds the global gradient
+norm through a real ``allreduce_obj``, and applies the update to *one
+rotating layer* of the parameter block.
+
+The memory shapes are the checkpoint showcase the ROADMAP asks for:
+
+* the **dataset** region is initialised from a fixed seed shared by
+  every rank of every job and never written again — identical bytes,
+  so a content-addressed store keeps one copy across the whole fleet
+  (cross-job dedup), and chunk-granularity dirty tracking never
+  recaptures it (incremental);
+* the **parameter** region is large and dense but a step dirties only
+  its current layer slab, so incremental checkpoints ship a sliver;
+* the per-rank seed makes parameters differ across ranks and the
+  checksum detect any corruption through checkpoint-restart.
+
+Speaks the :mod:`repro.faults.progress` resumability protocol exactly
+like the NAS kernels, so chaos recovery re-runs it against restored
+memory without redoing completed steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from ..faults.progress import ChaosProgress, chaos_sync
+from .nas.common import NasResult, alloc_scaled, interconnect_profile
+
+__all__ = ["ml_app", "ML", "MlSpec"]
+
+TAG_RING = 90
+
+#: every rank of every job derives the dataset from this one seed — the
+#: bytes must be identical fleet-wide for the dedup showcase to be real
+DATASET_SEED = 20140623
+
+
+@dataclass(frozen=True)
+class MlSpec:
+    """One training-configuration row (paper-testbed magnitudes)."""
+
+    klass: str
+    params_bytes: float     # dense weights, replicated per rank
+    dataset_bytes: float    # total dataset, sharded across ranks
+    flops_per_step: float   # whole-job forward+backward work per step
+    steps: int              # official step count
+    steps_sim: int          # steps actually simulated
+
+    @property
+    def state_bytes(self) -> float:
+        """Weights + two optimizer moments (the Adam-shaped resident 3x)."""
+        return 3.0 * self.params_bytes
+
+
+ML = {
+    "S": MlSpec("S", params_bytes=32e6, dataset_bytes=128e6,
+                flops_per_step=2.0e10, steps=100, steps_sim=4),
+    "A": MlSpec("A", params_bytes=350e6, dataset_bytes=2e9,
+                flops_per_step=2.1e11, steps=500, steps_sim=6),
+    "B": MlSpec("B", params_bytes=1.4e9, dataset_bytes=8e9,
+                flops_per_step=8.4e11, steps=1000, steps_sim=6),
+}
+
+
+def ml_app(ctx, comm, klass: str = "S", iters_sim: int = 0) -> Generator:
+    spec = ML[klass]
+    steps = iters_sim or spec.steps_sim
+    nprocs = comm.size
+
+    progress = ChaosProgress.attach(ctx)
+    start = progress.next_iter
+
+    # replicated parameter block (weights + moments); per-rank seed
+    params = alloc_scaled(ctx, f"{ctx.name}.ml.params", spec.state_bytes)
+    w = params.view(dtype=np.float64)
+    if start == 0:
+        rng = np.random.default_rng(4400 + comm.rank)
+        w[:] = rng.normal(0.0, 0.02, len(w))
+
+    # common dataset shard: fixed seed, identical bytes on every rank of
+    # every job, never written after init
+    dataset = alloc_scaled(ctx, f"{ctx.name}.ml.data",
+                           spec.dataset_bytes / nprocs)
+    x = dataset.view(dtype=np.float64)
+    if start == 0:
+        data_rng = np.random.default_rng(DATASET_SEED)
+        x[:] = data_rng.random(len(x))
+
+    # ring-allreduce strips: one send + one recv face standing for the
+    # bucketed 2·(p-1)/p · |params| volume each step moves per rank
+    ring_logical = 2.0 * (nprocs - 1) / max(1, nprocs) * spec.params_bytes
+    strip_real = 2048
+    grad = ctx.memory.ensure(
+        f"{ctx.name}.ml.grad", 2 * strip_real,
+        repr_scale=max(1.0, ring_logical / strip_real))
+    sw = strip_real // 8
+    g = grad.view(dtype=np.float64).reshape(2, sw)
+    right = (comm.rank + 1) % nprocs
+    left = (comm.rank - 1) % nprocs
+
+    flops_per_rank = spec.flops_per_step / nprocs
+
+    def ring_penalty() -> float:
+        """Critical-path latency of the 2·(p-1) bucket phases beyond the
+        single modelled exchange (each phase moves 1/p of the volume)."""
+        if nprocs < 2:
+            return 0.0
+        latency, per_byte = interconnect_profile(ctx)
+        phases = 2 * (nprocs - 1)
+        return (phases - 1) * (latency
+                               + (ring_logical / phases) * per_byte)
+
+    # layer-wise update schedule: a step writes one rotating slab of the
+    # parameter block (plus the step cell), so chunk-granularity dirty
+    # tracking keeps incremental checkpoints tiny
+    slab = max(1, min(len(w), 256))
+    n_slabs = max(1, len(w) // slab)
+
+    # calibrated OS-noise term, same shape as the NAS kernels'
+    os_noise = 2.5e-3 * max(0.0, np.log2(max(2, nprocs)) - 6.0)
+
+    yield from comm.barrier()
+    t_init = ctx.env.now
+    marks = []
+    for _it in range(start, steps):
+        # forward + backward
+        yield ctx.compute(flops=flops_per_rank)
+        # local gradient statistic from the (read-only) dataset shard
+        k = min(len(x), slab)
+        s0 = (_it % n_slabs) * slab
+        seg = w[s0: s0 + slab]
+        local_grad = float((x[:k] * seg[:k]).sum())
+        # bucketed ring allreduce: genuine neighbour traffic carrying the
+        # per-phase volume, plus the analytic multi-phase critical path
+        if nprocs > 1:
+            g[0] = local_grad
+            send = comm.isend(grad, 0, strip_real, dest=right, tag=TAG_RING)
+            recv = comm.irecv(grad, strip_real, strip_real, source=left,
+                              tag=TAG_RING)
+            yield send
+            yield recv
+            yield ctx.compute(seconds=ring_penalty())
+        gsum = yield from comm.allreduce_obj(local_grad,
+                                             lambda a, b: a + b)
+        # optimizer step on this step's layer only
+        lr = 1e-3 / (1.0 + 0.01 * _it)
+        w[s0: s0 + slab] = seg * (1.0 - lr) \
+            - lr * np.tanh(gsum / max(1.0, nprocs))
+        w[0] = (w[0] * 0.9 + 0.1 * np.tanh(gsum)) % 100.0
+        if os_noise:
+            yield ctx.compute(seconds=os_noise)
+        marks.append((_it, ctx.env.now))
+        progress.mark(_it + 1)
+        yield from chaos_sync(ctx, comm)
+    loop_seconds = ctx.env.now - t_init
+
+    checksum = yield from comm.allreduce_obj(float(np.abs(w).sum()),
+                                             lambda a, b: a + b)
+    return NasResult(benchmark="ML", klass=klass, rank=comm.rank,
+                     nprocs=nprocs, t_init=t_init,
+                     loop_seconds=loop_seconds, iters_sim=steps,
+                     iterations=spec.steps, checksum=checksum, marks=marks)

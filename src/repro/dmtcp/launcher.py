@@ -148,6 +148,13 @@ class DmtcpSession:
         t0 = self.env.now
         stats = yield from self.coordinator.checkpoint_all(intent)
         wall = self.env.now - t0
+        # a structured storage failure (saturated tier) aborts the round:
+        # every rank finished its barrier protocol (resumed under
+        # intent="resume"), so re-raising here is safe and carries the
+        # tier/tenant/byte detail to the supervising harness
+        for proc in self.procs:
+            if proc.ckpt_error is not None:
+                raise proc.ckpt_error
         records = [p.last_record for p in self.procs]
         if intent in ("restart", "migrate"):
             for proc in self.procs:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..hardware.node import Node, ProcessHost
+from ..hardware.storage import QuotaExceededError
 from ..memory import AddressSpace
 from ..sim import Environment, Event, Process
 from .coordinator import CoordinatorClient
@@ -152,6 +153,10 @@ class DmtcpProcess:
         self.client: Optional[CoordinatorClient] = None
         self.manager: Optional[Process] = None
         self.last_record: Optional[CheckpointRecord] = None
+        #: structured storage failure of the most recent checkpoint round
+        #: (e.g. QuotaExceededError from a saturated shared tier); the
+        #: session re-raises it so supervisors see tier/tenant detail
+        self.ckpt_error: Optional[BaseException] = None
         #: the forked child's in-flight overlapped write-back, if any
         self._bg_write: Optional[Process] = None
         host.compute_tax = costs.compute_tax
@@ -194,6 +199,7 @@ class DmtcpProcess:
 
     def _do_checkpoint(self, intent: str, epoch: int = 0) -> Generator:
         t0 = self.env.now
+        self.ckpt_error = None
         tracer = self.tracer
         gen = self.appctx.restarts
         ckpt_span = quiesce_span = None
@@ -330,18 +336,30 @@ class DmtcpProcess:
             write_span = None if tracer is None else tracer.begin(
                 "ckpt.write", self.name, self.env.now, epoch=epoch,
                 gen=gen, store=True)
-            put = yield from self.store.put_image(
-                rank=self.rank, node_index=self.node_index, epoch=epoch,
-                image=image, stall=stall)
-            path = put.manifest_path
-            abs_epoch = put.epoch
-            real_bytes = put.bytes_real
-            if tracer is not None:
-                tracer.end(write_span, self.env.now, stall=stall,
-                           sync_logical=put.bytes_written,
-                           bg_logical=0.0, store=True,
-                           chunks_new=put.chunks_new,
-                           chunks_deduped=put.chunks_deduped)
+            try:
+                put = yield from self.store.put_image(
+                    rank=self.rank, node_index=self.node_index,
+                    epoch=epoch, image=image, stall=stall)
+            except QuotaExceededError as exc:
+                # a saturated tier must not strand the gang: remember the
+                # structured error, keep walking the barrier protocol so
+                # peers finish their round, and let the session raise it
+                self.ckpt_error = exc
+                path = ""
+                real_bytes = 0.0
+                if tracer is not None:
+                    tracer.end(write_span, self.env.now, stall=stall,
+                               store=True, error="quota")
+            else:
+                path = put.manifest_path
+                abs_epoch = put.epoch
+                real_bytes = put.bytes_real
+                if tracer is not None:
+                    tracer.end(write_span, self.env.now, stall=stall,
+                               sync_logical=put.bytes_written,
+                               bg_logical=0.0, store=True,
+                               chunks_new=put.chunks_new,
+                               chunks_deduped=put.chunks_deduped)
         else:
             disk = self.host.node.disk(self.disk_kind)
             path = f"{self.ckpt_dir}/ckpt_{self.name}.dmtcp"
@@ -384,15 +402,18 @@ class DmtcpProcess:
         if tracer is not None:
             tracer.end(ckpt_span, self.env.now,
                        ckpt_seconds=ckpt_seconds)
-        self.last_record = CheckpointRecord(
-            name=self.name, rank=self.rank, node_index=self.node_index,
-            path=path, disk_kind=self.disk_kind, image=image,
-            continuation=Continuation(
-                name=self.name, rank=self.rank, appctx=self.appctx,
-                user_threads=list(self.user_threads), plugins=self.plugins,
-                memory=self.host.memory),
-            ckpt_seconds=ckpt_seconds,
-            epoch=abs_epoch if put is not None else 0)
+        if self.ckpt_error is None:
+            self.last_record = CheckpointRecord(
+                name=self.name, rank=self.rank,
+                node_index=self.node_index,
+                path=path, disk_kind=self.disk_kind, image=image,
+                continuation=Continuation(
+                    name=self.name, rank=self.rank, appctx=self.appctx,
+                    user_threads=list(self.user_threads),
+                    plugins=self.plugins,
+                    memory=self.host.memory),
+                ckpt_seconds=ckpt_seconds,
+                epoch=abs_epoch if put is not None else 0)
         cstats = image.capture_stats
         stats = {"name": self.name, "node": self.host.node.name,
                  "epoch": epoch,
@@ -414,6 +435,8 @@ class DmtcpProcess:
             stats["store_chunks_new"] = put.chunks_new
             stats["store_chunks_deduped"] = put.chunks_deduped
             stats["store_bytes_written"] = put.bytes_written
+        if self.ckpt_error is not None:
+            stats["error"] = repr(self.ckpt_error)
         yield from self.client.ckpt_done(stats)
 
         # 4. resume, or stay frozen for the restart flow

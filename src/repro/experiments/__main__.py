@@ -1,4 +1,10 @@
-"""``python -m repro.experiments [--full] [--max-procs N] [--table K]``"""
+"""``python -m repro.experiments [--full] [--max-procs N] [--table K]``
+
+Named sweeps delegate to their own CLIs::
+
+    python -m repro.experiments fault_sweep [--smoke]
+    python -m repro.experiments service_sweep [--smoke]
+"""
 
 from __future__ import annotations
 
@@ -14,7 +20,15 @@ _TABLES = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5,
            6: table6, 7: table7, 8: table8, 9: table9}
 
 
+_SWEEPS = ("fault_sweep", "service_sweep")
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SWEEPS:
+        import importlib
+        module = importlib.import_module(f".{argv[0]}", __package__)
+        return module.main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's evaluation tables")
     parser.add_argument("--full", action="store_true",

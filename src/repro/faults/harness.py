@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..apps.ml import ml_app
 from ..apps.nas import ft_app, lu_app
 from ..core import InfinibandPlugin
 from ..dmtcp import DEFAULT_COSTS, CostModel, dmtcp_launch, dmtcp_restart
@@ -42,7 +43,7 @@ __all__ = [
     "young_daly_interval",
 ]
 
-_APPS = {"lu": lu_app, "ft": ft_app}
+_APPS = {"lu": lu_app, "ft": ft_app, "ml": ml_app}
 
 
 def _maybe_monitored(analysis: bool):

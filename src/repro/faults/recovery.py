@@ -238,6 +238,13 @@ class RecoveryConfig:
     #: store is built per generation and re-staged from the last
     #: CheckpointSet, fully replicated
     use_store: bool = False
+    #: overrides the per-generation store: called with the generation's
+    #: cluster, returns the ``store=`` object for launch/restart.  The
+    #: multi-tenant service hands out a fresh
+    #: :class:`~repro.service.TenantStoreClient` here, so a supervised
+    #: job checkpoints into the shared long-lived service instead of a
+    #: private per-run store (implies ``use_store`` semantics)
+    store_factory: Optional[Callable[[Cluster], Any]] = None
     #: consecutive failures *without a new checkpoint* before giving up
     max_attempts: int = 5
     backoff_base: float = 2.0        # first retry delay (seconds)
@@ -270,6 +277,9 @@ class RecoveryOutcome:
     restart_overhead: float = 0.0    # total wall seconds restoring
     lost_work: float = 0.0           # work redone: failure minus last capture
     backoff_seconds: float = 0.0
+    #: generations killed by a structured storage-quota overflow
+    #: (surfaced as timeline kind="quota" with tier/tenant/byte detail)
+    quota_failures: int = 0
     timeline: List[TimelineEvent] = field(default_factory=list)
 
     @property
@@ -325,6 +335,26 @@ class RecoveryManager:
             self.tracer.emit(f"harness.{kind}", self.name, self.env.now,
                              detail=detail)
 
+    def _mark_error(self, outcome: Optional[RecoveryOutcome], where: str,
+                    exc: BaseException) -> None:
+        """Surface a generation-killing exception.  A structured
+        :class:`~repro.hardware.storage.QuotaExceededError` gets its own
+        timeline kind (``quota``) carrying tier name, requested/available
+        bytes, and tenant — not a bare repr — so sweeps and reports can
+        aggregate storage saturation separately from crashes."""
+        from ..hardware.storage import QuotaExceededError
+        if isinstance(exc, QuotaExceededError):
+            if outcome is not None:
+                outcome.quota_failures += 1
+            who = f" tenant={exc.tenant}" if exc.tenant else ""
+            self._mark(outcome, "quota",
+                       f"{where}: tier={exc.fs_name}{who} "
+                       f"requested={exc.requested:.0f} "
+                       f"available={exc.available:.0f} "
+                       f"capacity={exc.capacity:.0f}")
+        else:
+            self._mark(outcome, "failure", f"{where}: {exc!r}")
+
     def _backoff(self, consecutive_failures: int) -> float:
         """The k-th consecutive retry's delay: capped exponential, with
         optional relative jitter drawn from the reserved ``faults/`` RNG
@@ -369,7 +399,12 @@ class RecoveryManager:
             self.gate.world = len(specs)
             self.gate.reset()
             store = None
-            if cfg.use_store:
+            if cfg.store_factory is not None:
+                # shared-service mode: the service outlives generations;
+                # each one gets a fresh client (fresh epoch base), and
+                # stage_from is an idempotent re-registration
+                store = cfg.store_factory(cluster)
+            elif cfg.use_store:
                 # a fresh store per generation: the old cluster's tiers
                 # died with it, and stage_from rebuilds every replica
                 # from the surviving CheckpointSet
@@ -410,8 +445,8 @@ class RecoveryManager:
                 status = "failed"
             elif launch_proc.value[0] == "error":
                 status = "failed"
-                self._mark(outcome, "failure",
-                           f"bring-up error: {launch_proc.value[1]!r}")
+                self._mark_error(outcome, "bring-up error",
+                                 launch_proc.value[1])
             else:
                 session = launch_proc.value[1]
                 if ckpt_set is not None:
@@ -452,8 +487,7 @@ class RecoveryManager:
                     ok, value = ckpt_proc.value
                     if ok == "error":
                         status = "failed"
-                        self._mark(outcome, "failure",
-                                   f"checkpoint error: {value!r}")
+                        self._mark_error(outcome, "checkpoint error", value)
                         break
                     ckpt_set = value
                     t_last_capture = env.now

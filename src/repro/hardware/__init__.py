@@ -11,7 +11,7 @@ from .cluster import (
 from .hca import HCA, HCAError
 from .network import Network, NetworkError, NetworkPort
 from .node import Node, ProcessError, ProcessHost
-from .storage import Disk, FileSystem, StorageError
+from .storage import Disk, FileSystem, QuotaExceededError, StorageError
 
 __all__ = [
     "BUFFALO_CCR",
@@ -30,5 +30,6 @@ __all__ = [
     "Node",
     "ProcessError",
     "ProcessHost",
+    "QuotaExceededError",
     "StorageError",
 ]

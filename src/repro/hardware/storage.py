@@ -13,11 +13,45 @@ from typing import Dict, Generator, Optional
 
 from ..sim import Environment, Resource
 
-__all__ = ["FileSystem", "Disk", "StorageError"]
+__all__ = ["FileSystem", "Disk", "StorageError", "QuotaExceededError"]
 
 
 class StorageError(RuntimeError):
     """Missing file, invalid storage operation, or capacity overflow."""
+
+
+class QuotaExceededError(StorageError):
+    """A write would overflow a tier's logical-byte quota.
+
+    Carries the structured fields a supervisor needs to report the
+    saturation usefully (tier name, requested vs available bytes) plus a
+    ``tenant`` slot the multi-tenant service layer fills in when the
+    write was made on a tenant's behalf — ``RecoveryManager`` surfaces
+    these instead of a bare exception string.
+    """
+
+    def __init__(self, fs_name: str, path: str, requested: float,
+                 available: float, capacity: float,
+                 tenant: Optional[str] = None):
+        self.fs_name = fs_name
+        self.path = path
+        self.requested = float(requested)
+        self.available = float(available)
+        self.capacity = float(capacity)
+        self.tenant = tenant
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        who = f" (tenant {self.tenant!r})" if self.tenant else ""
+        return (f"{self.fs_name}: quota exceeded storing {self.path!r}"
+                f"{who}: requested {self.requested:.0f} logical bytes, "
+                f"{self.available:.0f} of {self.capacity:.0f} available")
+
+    def with_tenant(self, tenant: str) -> "QuotaExceededError":
+        """Attach the tenant on whose behalf the write ran (service layer)."""
+        self.tenant = tenant
+        self.args = (self._render(),)
+        return self
 
 
 @dataclass
@@ -49,13 +83,14 @@ class FileSystem:
         if self.capacity_bytes is None:
             return
         old = self._files.get(path)
-        projected = self._used_logical + logical_size \
-            - (old.logical_size if old is not None else 0.0)
+        released = old.logical_size if old is not None else 0.0
+        projected = self._used_logical + logical_size - released
         if projected > self.capacity_bytes:
-            raise StorageError(
-                f"{self.name}: quota exceeded storing {path!r} "
-                f"({projected:.0f} > {self.capacity_bytes:.0f} logical "
-                f"bytes)")
+            raise QuotaExceededError(
+                fs_name=self.name, path=path, requested=logical_size,
+                available=max(0.0, self.capacity_bytes
+                              - self._used_logical + released),
+                capacity=self.capacity_bytes)
 
     def store(self, path: str, data: bytes, logical_size: float) -> None:
         self.check_capacity(path, logical_size)
@@ -117,13 +152,31 @@ class Disk:
         self.bytes_written = 0.0  # logical accounting
         self.bytes_read = 0.0
 
+    def _claim_head(self) -> Generator:
+        """Process generator: take the head, kill-safely.  A writer killed
+        while queued (teardown racing I/O on a *shared*, long-lived disk —
+        the checkpoint service's tiers) must not leak its claim: on
+        ``GeneratorExit`` a granted slot is released and a still-queued
+        request is cancelled (``release`` skips triggered waiters)."""
+        req = self._head.request()
+        if req.triggered:
+            return
+        try:
+            yield req
+        except GeneratorExit:
+            if req.triggered:
+                self._head.release()
+            else:
+                req.succeed()  # cancel our queued claim
+            raise
+
     def write(self, path: str, data: bytes,
               logical_size: Optional[float] = None) -> Generator:
         """Process generator: store ``data``, charging time for
         ``logical_size`` (defaults to ``len(data)``) at write bandwidth."""
         size = float(len(data) if logical_size is None else logical_size)
         self.fs.check_capacity(path, size)  # ENOSPC before seeking
-        yield self._head.request()
+        yield from self._claim_head()
         try:
             yield self.env.timeout(self.latency + size / self.write_bandwidth)
             self.fs.store(path, data, size)
@@ -135,7 +188,7 @@ class Disk:
         """Process generator: returns the file bytes, charging read time for
         its logical size."""
         size = self.fs.logical_size(path)  # raises early if missing
-        yield self._head.request()
+        yield from self._claim_head()
         try:
             yield self.env.timeout(self.latency + size / self.read_bandwidth)
             self.bytes_read += size

@@ -16,8 +16,9 @@ import argparse
 import json
 
 from .invariants import check_trace_invariants
-from .report import (decompose, render, render_sim, render_store,
-                     store_summary, trace_scenario)
+from .report import (decompose, render, render_service, render_sim,
+                     render_store, service_summary, store_summary,
+                     trace_scenario)
 from .trace import load_trace
 
 
@@ -44,6 +45,14 @@ def main(argv=None) -> int:
                      help="checkpoint through the content-addressed "
                           "multi-tier store so the trace carries "
                           "store.* records")
+    rep.add_argument("--service", action="store_true",
+                     help="run a gang-scheduled job stream against the "
+                          "shared multi-tenant checkpoint service "
+                          "instead of a single NAS job; the report adds "
+                          "the service.* section")
+    rep.add_argument("--jobs", type=int, default=6,
+                     help="arrival-stream length for --service "
+                          "(default: 6)")
     rep.add_argument("--incremental", action="store_true",
                      help="checkpoint incrementally against the previous "
                           "image so the report carries chunk "
@@ -63,6 +72,19 @@ def main(argv=None) -> int:
     if args.trace is not None:
         events = load_trace(args.trace)
         dropped = 0
+    elif args.service:
+        from ..obs.trace import traced
+        from ..service import service_scenario
+        with traced(sink=args.sink) as tracer:
+            scenario = service_scenario(
+                seed=args.seed, n_jobs=args.jobs, quantum=0.5,
+                ckpt_interval=args.ckpt_interval)
+        events = tracer.events
+        dropped = tracer.dropped
+        outcomes = scenario["outcomes"]
+        print(f"# service stream: {len(outcomes)} job(s) completed, "
+              f"order {', '.join(o.name for o in outcomes)}; "
+              f"{len(events)} trace record(s)")
     else:
         tracer, outcome = trace_scenario(
             app=args.run, seed=args.seed, iters_sim=args.iters,
@@ -87,10 +109,14 @@ def main(argv=None) -> int:
     decomp = decompose(events)
     store = store_summary(events)
     store_active = store["puts"] or store["fetches"]
+    service = service_summary(events)
+    service_active = service["jobs_done"] or service["puts"]
     if args.json:
         payload = {"decomposition": decomp, "violations": violations}
         if store_active:
             payload["store"] = store
+        if service_active:
+            payload["service"] = service
         if counters:
             payload["counters"] = counters
         if sim_stats is not None:
@@ -106,6 +132,8 @@ def main(argv=None) -> int:
             print(render_sim(sim_stats))
         if store_active:
             print(render_store(store))
+        if service_active:
+            print(render_service(service))
         if violations:
             print(f"# {len(violations)} trace invariant violation(s):")
             for violation in violations:

@@ -45,6 +45,25 @@ ProtocolMonitor` cannot see because it records no timeline:
     count between 0 and the region/capture chunk total — the bitmap can
     never claim more dirty chunks than exist.
 
+``admission-before-put``
+    Every ``service.put`` span a :class:`~repro.service.CheckpointService`
+    opens was granted by a preceding ``service.admit`` on the same
+    process: no checkpoint byte enters the shared store without passing
+    the tenant quota / backpressure gate first.
+
+``preempt-quiesce-before-reclaim``
+    Within an open ``service.preempt`` span, the scheduler may only
+    emit ``service.reclaim`` (returning the gang's node slots to the
+    pool) after ``service.quiesce`` reported the job frozen — slots
+    never free while ranks are still running.  (``service.quota.reclaim``
+    is the admission ledger's byte refund, a different event.)
+
+``service-conservation``
+    Every ``service.account`` record balances its tenant's byte ledger:
+    ``bytes_admitted == bytes_stored + bytes_rejected`` — an admitted
+    byte either landed in a tier or was refunded on failure, never
+    silently lost.  Self-contained (checked even on overflowed rings).
+
 Traces may span several :class:`~repro.sim.Environment` instances (one
 per scenario, or per chaos generation in tests that build fresh
 environments): the simulated clock then restarts from zero.  Checks are
@@ -53,8 +72,9 @@ are non-decreasing — so cross-environment history never false-positives.
 
 When the tracer's ring overflowed (``dropped > 0``), the history-
 dependent checks (``capture-after-quiesce``, ``writer-quiesce``,
-``precopy-shrink``, ``pagein-before-compute``) are skipped; the
-self-contained per-record checks still run.
+``precopy-shrink``, ``pagein-before-compute``,
+``admission-before-put``, ``preempt-quiesce-before-reclaim``) are
+skipped; the self-contained per-record checks still run.
 """
 
 from __future__ import annotations
@@ -233,6 +253,65 @@ def _check_chunk_balance(segment, violations) -> None:
                 f"{skipped} hash-skipped chunk(s) of {total} total")
 
 
+def _check_admission_before_put(segment, violations) -> None:
+    # per proc: outstanding admission credits; a service.put B consumes
+    # one (rejected puts emit service.reject and never open a put span)
+    credits: Dict[str, int] = {}
+    for event in segment:
+        kind, ev, proc = event["kind"], event["ev"], event["proc"]
+        if kind == "service.admit":
+            credits[proc] = credits.get(proc, 0) + 1
+        elif kind == "service.put" and ev == "B":
+            have = credits.get(proc, 0)
+            if have < 1:
+                violations.append(
+                    f"[admission-before-put] {proc} opened a service.put "
+                    f"span at t={event.get('t', 0.0):.6f} (tenant "
+                    f"{event.get('tenant')!r}) with no outstanding "
+                    "service.admit grant")
+            else:
+                credits[proc] = have - 1
+
+
+def _check_preempt_quiesce_before_reclaim(segment, violations) -> None:
+    # per job: whether a service.preempt span is open, and whether
+    # service.quiesce has fired inside it
+    open_preempt: Dict[str, bool] = {}
+    for event in segment:
+        kind, ev = event["kind"], event["ev"]
+        job = event.get("job")
+        if kind == "service.preempt":
+            if ev == "B":
+                open_preempt[job] = False
+            else:
+                open_preempt.pop(job, None)
+        elif kind == "service.quiesce" and job in open_preempt:
+            open_preempt[job] = True
+        elif kind == "service.reclaim" and job in open_preempt:
+            if not open_preempt[job]:
+                violations.append(
+                    f"[preempt-quiesce-before-reclaim] job {job} had its "
+                    f"node slots reclaimed at t={event.get('t', 0.0):.6f} "
+                    "before service.quiesce reported the gang frozen")
+
+
+def _check_service_conservation(segment, violations) -> None:
+    # self-contained per-record check on the admission ledger rows
+    for event in segment:
+        if event["kind"] != "service.account":
+            continue
+        admitted = float(event.get("bytes_admitted", 0.0))
+        stored = float(event.get("bytes_stored", 0.0))
+        rejected = float(event.get("bytes_rejected", 0.0))
+        slack = max(1.0, 1e-6 * abs(admitted))
+        if abs(admitted - (stored + rejected)) > slack:
+            violations.append(
+                f"[service-conservation] tenant {event.get('tenant')!r} "
+                f"ledger off balance at t={event.get('t', 0.0):.6f}: "
+                f"admitted {admitted:.0f} != stored {stored:.0f} + "
+                f"rejected {rejected:.0f}")
+
+
 def check_trace_invariants(events: List[Dict[str, Any]],
                            dropped: int = 0) -> List[str]:
     """Return every invariant violation found in ``events`` (empty list
@@ -245,9 +324,12 @@ def check_trace_invariants(events: List[Dict[str, Any]],
             _check_writer_quiesce(segment, violations)
             _check_precopy_shrink(segment, violations)
             _check_pagein_before_compute(segment, violations)
+            _check_admission_before_put(segment, violations)
+            _check_preempt_quiesce_before_reclaim(segment, violations)
         _check_refill_before_real(segment, violations)
         _check_replay_balance(segment, violations)
         _check_chunk_balance(segment, violations)
+        _check_service_conservation(segment, violations)
     return violations
 
 

@@ -27,7 +27,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 __all__ = ["decompose", "migration_summary", "render", "render_migration",
-           "render_sim", "render_store", "store_summary", "trace_scenario"]
+           "render_service", "render_sim", "render_store",
+           "service_summary", "store_summary", "trace_scenario"]
 
 _PHASES = ("quiesce", "drain", "capture", "compress", "write",
            "refill", "replay")
@@ -258,6 +259,102 @@ def render_store(summary: Dict[str, Any]) -> str:
         f"gc retired {summary['gc_manifests']} manifest(s) / "
         f"{summary['gc_chunks']} chunk file(s)",
     ]
+    return "\n".join(lines)
+
+
+def service_summary(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate the ``service.*`` records of a trace: the job stream
+    (arrivals, grants, preemptions, completions), the shared store's put
+    traffic and latency, admission decisions, and the per-tenant byte
+    ledger.  Empty trace → all-zero dict, so the caller can key "was a
+    service in play" off ``jobs_done`` + ``puts``."""
+    summary: Dict[str, Any] = {
+        "jobs_arrived": 0, "jobs_granted": 0, "jobs_done": 0,
+        "jobs_failed": 0, "preemptions": 0,
+        "puts": 0, "puts_rejected": 0, "put_seconds": 0.0,
+        "chunks_new": 0, "chunks_deduped": 0, "bytes_written": 0.0,
+        "admitted": 0, "rejected": 0, "queued_seconds": 0.0,
+        "replicate_batches": 0,
+        "tenants": {},
+    }
+    put_durs: List[float] = []
+    for event in events:
+        kind, ev = event["kind"], event["ev"]
+        if kind == "service.arrive":
+            summary["jobs_arrived"] += 1
+        elif kind == "service.grant":
+            summary["jobs_granted"] += 1
+        elif kind == "service.done":
+            summary["jobs_done"] += 1
+            if not event.get("ok", True):
+                summary["jobs_failed"] += 1
+        elif kind == "service.preempt" and ev == "E":
+            summary["preemptions"] += 1
+        elif kind == "service.put" and ev == "E":
+            summary["puts"] += 1
+            dur = event.get("dur", 0.0)
+            summary["put_seconds"] += dur
+            put_durs.append(dur)
+            summary["chunks_new"] += event.get("chunks_new", 0)
+            summary["chunks_deduped"] += event.get("chunks_deduped", 0)
+            summary["bytes_written"] += event.get("bytes_written", 0.0)
+        elif kind == "service.admit":
+            summary["admitted"] += 1
+            summary["queued_seconds"] += event.get("queued", 0.0)
+        elif kind == "service.reject":
+            summary["rejected"] += 1
+            summary["puts_rejected"] += 1
+        elif kind == "service.replicate.batch":
+            summary["replicate_batches"] += 1
+        elif kind == "service.account":
+            summary["tenants"][event.get("tenant")] = {
+                key: event.get(key, 0.0)
+                for key in ("bytes_admitted", "bytes_stored",
+                            "bytes_rejected", "used_bytes", "puts",
+                            "rejections", "queued_seconds")}
+    total = summary["chunks_new"] + summary["chunks_deduped"]
+    summary["dedup_ratio"] = (summary["chunks_deduped"] / total
+                              if total else 0.0)
+    if put_durs:
+        put_durs.sort()
+        summary["put_p50"] = put_durs[len(put_durs) // 2]
+        summary["put_p99"] = put_durs[
+            min(len(put_durs) - 1, int(0.99 * len(put_durs)))]
+    else:
+        summary["put_p50"] = summary["put_p99"] = 0.0
+    return summary
+
+
+def render_service(summary: Dict[str, Any]) -> str:
+    """Format a :func:`service_summary` as a short text block."""
+    lines = [
+        f"checkpoint service: {summary['jobs_done']} job(s) done of "
+        f"{summary['jobs_arrived']} arrived "
+        f"({summary['jobs_failed']} failed), "
+        f"{summary['jobs_granted']} grant(s), "
+        f"{summary['preemptions']} preemption(s)",
+        f"  puts: {summary['puts']} ok / "
+        f"{summary['puts_rejected']} rejected — "
+        f"{summary['chunks_new']} new chunk(s), "
+        f"{summary['chunks_deduped']} deduped "
+        f"({summary['dedup_ratio']:.1%}), "
+        f"{summary['bytes_written'] / 1e6:.2f} MB written; "
+        f"latency p50 {summary['put_p50']:.4f}s "
+        f"p99 {summary['put_p99']:.4f}s (sim)",
+        f"  admission: {summary['admitted']} admit(s), "
+        f"{summary['rejected']} rejection(s), "
+        f"{summary['queued_seconds']:.4f}s queued (sim); "
+        f"{summary['replicate_batches']} replication batch(es)",
+    ]
+    for tenant in sorted(summary["tenants"]):
+        row = summary["tenants"][tenant]
+        lines.append(
+            f"  tenant {tenant}: admitted {row['bytes_admitted'] / 1e6:.2f} "
+            f"MB = stored {row['bytes_stored'] / 1e6:.2f} MB + rejected "
+            f"{row['bytes_rejected'] / 1e6:.2f} MB; resident "
+            f"{row['used_bytes'] / 1e6:.2f} MB "
+            f"({row['puts']:.0f} put(s), "
+            f"{row['rejections']:.0f} rejection(s))")
     return "\n".join(lines)
 
 

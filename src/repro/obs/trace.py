@@ -4,8 +4,9 @@ and wall-clock timestamps.
 The tracer is attached exactly like :class:`~repro.analysis.protocol.
 ProtocolMonitor`: a ``tracer`` class attribute on the instrumented
 classes (``InfinibandPlugin``, ``DmtcpProcess``, ``Coordinator``,
-``RecoveryManager``, ``Injector``, ``CheckpointStore``,
-``MigrationManager``, ``PostCopyPager``), installed class-wide by
+``RecoveryManager``, ``Injector``, ``CheckpointStore`` — and through
+it ``CheckpointService`` — ``MigrationManager``, ``PostCopyPager``,
+``GangScheduler``), installed class-wide by
 :func:`install_tracer` — ``core``/``dmtcp``/``faults``/``migrate`` never
 import ``obs``.  ``None`` costs one attribute read per hook site.
 
@@ -193,18 +194,21 @@ def install_tracer(tracer: Tracer) -> Tuple[Any, ...]:
     from ..faults.recovery import RecoveryManager
     from ..migrate.manager import MigrationManager
     from ..migrate.postcopy import PostCopyPager
+    from ..service.scheduler import GangScheduler
     from ..store.store import CheckpointStore
 
+    # CheckpointService subclasses CheckpointStore and *inherits* the
+    # class attribute, so the service lights up through the store entry
     classes = (InfinibandPlugin, DmtcpProcess, Coordinator,
                RecoveryManager, Injector, CheckpointStore,
-               MigrationManager, PostCopyPager)
+               MigrationManager, PostCopyPager, GangScheduler)
     prev = tuple(klass.tracer for klass in classes)
     for klass in classes:
         klass.tracer = tracer
     return prev
 
 
-def uninstall_tracer(prev: Tuple[Any, ...] = (None,) * 8) -> None:
+def uninstall_tracer(prev: Tuple[Any, ...] = (None,) * 9) -> None:
     from ..core.ib_plugin.plugin import InfinibandPlugin
     from ..dmtcp.coordinator import Coordinator
     from ..dmtcp.process import DmtcpProcess
@@ -212,11 +216,15 @@ def uninstall_tracer(prev: Tuple[Any, ...] = (None,) * 8) -> None:
     from ..faults.recovery import RecoveryManager
     from ..migrate.manager import MigrationManager
     from ..migrate.postcopy import PostCopyPager
+    from ..service.scheduler import GangScheduler
     from ..store.store import CheckpointStore
 
     classes = (InfinibandPlugin, DmtcpProcess, Coordinator,
                RecoveryManager, Injector, CheckpointStore,
-               MigrationManager, PostCopyPager)
+               MigrationManager, PostCopyPager, GangScheduler)
+    # pad: a caller holding a prev tuple from before a class was added
+    # must still restore cleanly
+    prev = tuple(prev) + (None,) * (len(classes) - len(prev))
     for klass, tracer in zip(classes, prev):
         klass.tracer = tracer
 

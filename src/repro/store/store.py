@@ -73,6 +73,9 @@ class PutResult:
     chunks_deduped: int = 0
     bytes_written: float = 0.0  # logical bytes charged to the local disk
     bytes_real: float = 0.0     # real bytes of the new chunks
+    #: the multi-tenant service's admission layer refused the put (quota);
+    #: a rejected put writes nothing and must not wedge the ckpt protocol
+    rejected: bool = False
 
 
 class CheckpointStore:

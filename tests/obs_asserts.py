@@ -118,3 +118,60 @@ class TraceAssertions:
     def assert_ordering(self, proc: str, kinds: List[str]) -> None:
         """Assert ``kinds`` (B/P records) appear for ``proc`` in order."""
         assert_ordering_in(self.tracer.events, proc, kinds)
+
+    # -- service-specific accessors / assertions ------------------------------
+
+    def service_accounts(self) -> Dict[str, Dict[str, float]]:
+        """The per-tenant ledger rows from ``service.account`` records
+        (last row wins if a tenant is accounted more than once)."""
+        rows: Dict[str, Dict[str, float]] = {}
+        for event in self.of_kind("service.account"):
+            rows[event.get("tenant")] = {
+                key: float(event.get(key, 0.0))
+                for key in ("bytes_admitted", "bytes_stored",
+                            "bytes_rejected", "used_bytes", "puts",
+                            "rejections")}
+        return rows
+
+    def assert_service_conservation(self) -> None:
+        """Every tenant's ledger balances: admitted == stored + rejected."""
+        rows = self.service_accounts()
+        assert rows, "no service.account records in trace"
+        for tenant, row in rows.items():
+            admitted = row["bytes_admitted"]
+            total = row["bytes_stored"] + row["bytes_rejected"]
+            slack = max(1.0, 1e-6 * abs(admitted))
+            assert abs(admitted - total) <= slack, (
+                f"tenant {tenant}: admitted {admitted:.0f} != stored "
+                f"{row['bytes_stored']:.0f} + rejected "
+                f"{row['bytes_rejected']:.0f}")
+
+    def assert_admission_before_put(self) -> None:
+        """Every ``service.put`` span had an outstanding admission grant
+        on the same process (the gate-then-store order, per segment)."""
+        for segment in self.segments():
+            credits: Dict[str, int] = {}
+            for event in segment:
+                if event["kind"] == "service.admit":
+                    credits[event["proc"]] = \
+                        credits.get(event["proc"], 0) + 1
+                elif event["kind"] == "service.put" \
+                        and event["ev"] == "B":
+                    have = credits.get(event["proc"], 0)
+                    assert have >= 1, (
+                        f"{event['proc']} opened a service.put span at "
+                        f"t={event.get('t', 0.0):.6f} without a grant")
+                    credits[event["proc"]] = have - 1
+
+    def assert_preempt_protocol(self) -> None:
+        """Every completed preemption quiesced the gang before its node
+        slots were reclaimed, and closed its span."""
+        begins = self.of_kind("service.preempt", "B")
+        assert begins, "no service.preempt spans in trace"
+        ends = self.of_kind("service.preempt", "E")
+        assert len(begins) == len(ends), "unclosed service.preempt span"
+        for begin in begins:
+            job = begin.get("job")
+            self.assert_ordering(begin["proc"], [
+                "service.preempt", "service.quiesce", "service.reclaim"])
+            assert job is not None
